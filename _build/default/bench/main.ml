@@ -1,0 +1,122 @@
+(* Benchmark & experiment harness: regenerates every table and figure of
+   the paper's evaluation from {!Bvf_experiments.Experiments}.
+
+     dune exec bench/main.exe               - all experiments, full size
+     dune exec bench/main.exe -- quick      - all experiments, small size
+     dune exec bench/main.exe -- table2     - Table 2 only
+     dune exec bench/main.exe -- table3     - Table 3 only
+     dune exec bench/main.exe -- figure6    - Figure 6 series
+     dune exec bench/main.exe -- acceptance - section 6.3 statistics
+     dune exec bench/main.exe -- overhead   - section 6.4 sanitation cost
+     dune exec bench/main.exe -- ablation   - DESIGN.md ablations
+     dune exec bench/main.exe -- bechamel   - Bechamel timing suite
+                                              (one Test.make per artefact) *)
+
+module E = Bvf_experiments.Experiments
+
+let line () = print_endline (String.make 78 '-')
+
+let run_table2 ~iterations () =
+  line ();
+  E.print_table2 (E.table2 ~iterations ())
+
+let coverage_memo = ref None
+
+let coverage ~iterations ~repetitions () =
+  match !coverage_memo with
+  | Some t -> t
+  | None ->
+    let t = E.coverage ~iterations ~repetitions () in
+    coverage_memo := Some t;
+    t
+
+let run_table3 ~iterations ~repetitions () =
+  line ();
+  E.print_table3 (coverage ~iterations ~repetitions ())
+
+let run_figure6 ~iterations ~repetitions () =
+  line ();
+  E.print_figure6 (coverage ~iterations ~repetitions ())
+
+let run_acceptance ~programs () =
+  line ();
+  E.print_acceptance (E.acceptance ~programs ())
+
+let run_overhead ~count ~runs () =
+  line ();
+  E.print_overhead (E.overhead ~count ~runs ())
+
+let run_ablation ~iterations () =
+  line ();
+  E.print_ablation (E.ablation ~iterations ())
+
+(* -- Bechamel micro-suite: one Test.make per paper artefact ------------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"bvf"
+      [
+        mk "table2:campaign-step" (fun () ->
+            ignore (E.table2 ~iterations:150 ~seed:9 ()));
+        mk "table3:coverage-cell" (fun () ->
+            ignore (E.coverage ~iterations:150 ~repetitions:1
+                      ~sample_every:50 ()));
+        mk "figure6:curve" (fun () ->
+            ignore (E.coverage ~iterations:100 ~repetitions:1
+                      ~sample_every:25 ()));
+        mk "acceptance:verify-only" (fun () ->
+            ignore (E.acceptance ~programs:150 ()));
+        mk "overhead:selftests" (fun () ->
+            ignore (E.overhead ~count:24 ~runs:2 ()));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:12 ~quota:(Time.second 2.0) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  line ();
+  print_endline "Bechamel timing (monotonic clock per run):";
+  Hashtbl.iter
+    (fun name result ->
+       Format.printf "  %-28s %a@." name Analyze.OLS.pp result)
+    results
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match arg with
+  | "table2" -> run_table2 ~iterations:12_000 ()
+  | "table3" -> run_table3 ~iterations:6_000 ~repetitions:3 ()
+  | "figure6" -> run_figure6 ~iterations:6_000 ~repetitions:3 ()
+  | "acceptance" -> run_acceptance ~programs:4_000 ()
+  | "overhead" -> run_overhead ~count:708 ~runs:60 ()
+  | "ablation" -> run_ablation ~iterations:6_000 ()
+  | "bechamel" -> bechamel_suite ()
+  | "quick" ->
+    run_table2 ~iterations:3_000 ();
+    run_table3 ~iterations:1_500 ~repetitions:2 ();
+    run_figure6 ~iterations:1_500 ~repetitions:2 ();
+    run_acceptance ~programs:1_000 ();
+    run_overhead ~count:150 ~runs:10 ();
+    run_ablation ~iterations:1_500 ()
+  | "all" ->
+    run_table2 ~iterations:12_000 ();
+    run_table3 ~iterations:6_000 ~repetitions:3 ();
+    run_figure6 ~iterations:6_000 ~repetitions:3 ();
+    run_acceptance ~programs:4_000 ();
+    run_overhead ~count:708 ~runs:60 ();
+    run_ablation ~iterations:6_000 ()
+  | other ->
+    Printf.eprintf
+      "unknown experiment %S (try: all quick table2 table3 figure6 \
+       acceptance overhead ablation bechamel)\n"
+      other;
+    exit 2

@@ -1,0 +1,222 @@
+(* The bvf command line: fuzz campaigns, single-bug reproducers,
+   self-test corpus inspection and program disassembly over the
+   simulated kernel.
+
+     bvf fuzz --kernel bpf-next --iterations 20000 --seed 1 --tool bvf
+     bvf repro --bug bug1-nullness-propagation
+     bvf selftests --count 100
+     bvf experiments table2 *)
+
+module Version = Bvf_ebpf.Version
+module Disasm = Bvf_ebpf.Disasm
+module Kconfig = Bvf_kernel.Kconfig
+module Verifier = Bvf_verifier.Verifier
+module Loader = Bvf_runtime.Loader
+module Campaign = Bvf_core.Campaign
+module Oracle = Bvf_core.Oracle
+module Selftests = Bvf_core.Selftests
+module E = Bvf_experiments.Experiments
+
+open Cmdliner
+
+(* -- Shared arguments ----------------------------------------------------- *)
+
+let version_arg =
+  let parse s =
+    match Version.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown kernel version %S" s))
+  in
+  let print fmt v = Format.fprintf fmt "%s" (Version.to_string v) in
+  Arg.conv (parse, print)
+
+let version_t =
+  Arg.(value & opt version_arg Version.Bpf_next
+       & info [ "kernel"; "k" ] ~docv:"VERSION"
+         ~doc:"Kernel version to simulate: v5.15, v6.1 or bpf-next.")
+
+let seed_t =
+  Arg.(value & opt int 1
+       & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let iterations_t =
+  Arg.(value & opt int 10_000
+       & info [ "iterations"; "n" ] ~docv:"N"
+         ~doc:"Number of programs to generate and run.")
+
+(* -- fuzz ------------------------------------------------------------------- *)
+
+let tool_t =
+  Arg.(value & opt (enum [ ("bvf", `Bvf); ("syzkaller", `Syz);
+                           ("buzzer", `Buzzer) ]) `Bvf
+       & info [ "tool"; "t" ] ~docv:"TOOL"
+         ~doc:"Generator to drive: bvf, syzkaller or buzzer.")
+
+let no_sanitize_t =
+  Arg.(value & flag
+       & info [ "no-sanitize" ]
+         ~doc:"Disable the bpf_asan sanitation patches (CONFIG_BPF_ASAN).")
+
+let fixed_t =
+  Arg.(value & flag
+       & info [ "fixed" ]
+         ~doc:"Run against a fully fixed kernel (no injected bugs).")
+
+let unprivileged_t =
+  Arg.(value & flag
+       & info [ "unprivileged" ]
+         ~doc:"Load programs without CAP_BPF: stricter verifier checks.")
+
+let fuzz_cmd =
+  let run version seed iterations tool no_sanitize fixed unprivileged =
+    let config =
+      if fixed then Kconfig.fixed version else Kconfig.default version
+    in
+    let config = Kconfig.with_sanitize config (not no_sanitize) in
+    let config = { config with Kconfig.unprivileged } in
+    let strategy =
+      match tool with
+      | `Bvf -> Campaign.bvf_strategy
+      | `Syz -> Bvf_baselines.Syz_gen.strategy
+      | `Buzzer -> Bvf_baselines.Buzzer_gen.strategy ()
+    in
+    Printf.printf "fuzzing %s (%d injected bugs, sanitize=%b) with %s...\n"
+      (Version.to_string version)
+      (List.length config.Kconfig.bugs)
+      config.Kconfig.sanitize strategy.Campaign.s_name;
+    let stats = Campaign.run ~seed ~iterations strategy config in
+    Format.printf "%a" Campaign.pp_summary stats;
+    let findings =
+      Hashtbl.fold (fun _ f acc -> f :: acc) stats.Campaign.st_findings []
+      |> List.sort (fun a b ->
+          compare a.Campaign.fd_iteration b.Campaign.fd_iteration)
+    in
+    List.iter
+      (fun (f : Campaign.found) ->
+         Printf.printf "  iter %6d: %s\n" f.Campaign.fd_iteration
+           (Oracle.finding_to_string f.Campaign.fd_finding))
+      findings
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign.")
+    Term.(const run $ version_t $ seed_t $ iterations_t $ tool_t
+          $ no_sanitize_t $ fixed_t $ unprivileged_t)
+
+(* -- repro ------------------------------------------------------------------ *)
+
+let bug_arg =
+  let parse s =
+    match
+      List.find_opt
+        (fun b -> Kconfig.bug_to_string b = s)
+        Kconfig.all_bugs
+    with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown bug %S; one of: %s" s
+              (String.concat ", "
+                 (List.map Kconfig.bug_to_string Kconfig.all_bugs))))
+  in
+  let print fmt b = Format.fprintf fmt "%s" (Kconfig.bug_to_string b) in
+  Arg.conv (parse, print)
+
+let repro_cmd =
+  let run bug seed =
+    (* fuzz a kernel carrying only this bug until its fingerprint shows *)
+    let config = Kconfig.make Version.Bpf_next ~bugs:[ bug ] in
+    let component, description, _ = Kconfig.bug_info bug in
+    Printf.printf "hunting %s (%s: %s)...\n"
+      (Kconfig.bug_to_string bug)
+      component description;
+    let c = Campaign.create ~seed Campaign.bvf_strategy config in
+    let budget = 60_000 in
+    let rec hunt i =
+      if i >= budget then
+        Printf.printf "not reproduced within %d programs\n" budget
+      else begin
+        Campaign.step c;
+        match
+          Hashtbl.fold
+            (fun _ (f : Campaign.found) acc ->
+               if f.Campaign.fd_finding.Oracle.f_bug = Some bug then Some f
+               else acc)
+            c.Campaign.stats.Campaign.st_findings None
+        with
+        | Some f ->
+          Printf.printf "reproduced at iteration %d:\n  %s\n\nprogram:\n"
+            f.Campaign.fd_iteration
+            (Oracle.finding_to_string f.Campaign.fd_finding);
+          print_string
+            (Disasm.prog_to_string
+               f.Campaign.fd_request.Verifier.r_insns)
+        | None -> hunt (i + 1)
+      end
+    in
+    hunt 0
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:"Fuzz a kernel carrying a single injected bug until found.")
+    Term.(const run
+          $ Arg.(required & opt (some bug_arg) None
+                 & info [ "bug"; "b" ] ~docv:"BUG"
+                   ~doc:"Bug identifier, e.g. bug1-nullness-propagation.")
+          $ seed_t)
+
+(* -- selftests --------------------------------------------------------------- *)
+
+let selftests_cmd =
+  let run version count dump =
+    let suite = Selftests.build ~count version in
+    Printf.printf "built %d self-test programs for %s\n"
+      (List.length suite.Selftests.requests)
+      (Version.to_string version);
+    if dump then
+      List.iteri
+        (fun i req ->
+           Printf.printf "--- selftest %d (%s) ---\n" i
+             (Bvf_ebpf.Prog.prog_type_to_string req.Verifier.r_prog_type);
+           print_string (Disasm.prog_to_string req.Verifier.r_insns))
+        suite.Selftests.requests
+  in
+  Cmd.v
+    (Cmd.info "selftests" ~doc:"Build and optionally dump the self-test corpus.")
+    Term.(const run $ version_t
+          $ Arg.(value & opt int 708
+                 & info [ "count"; "c" ] ~docv:"N"
+                   ~doc:"Number of programs to build.")
+          $ Arg.(value & flag
+                 & info [ "dump" ] ~doc:"Disassemble every program."))
+
+(* -- experiments -------------------------------------------------------------- *)
+
+let experiments_cmd =
+  let run which =
+    match which with
+    | "table2" -> E.print_table2 (E.table2 ())
+    | "table3" -> E.print_table3 (E.coverage ())
+    | "figure6" -> E.print_figure6 (E.coverage ())
+    | "acceptance" -> E.print_acceptance (E.acceptance ())
+    | "overhead" -> E.print_overhead (E.overhead ())
+    | "ablation" -> E.print_ablation (E.ablation ())
+    | other ->
+      Printf.eprintf "unknown experiment %S\n" other;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate a paper artefact (table2, table3, figure6, \
+             acceptance, overhead, ablation).")
+    Term.(const run
+          $ Arg.(required & pos 0 (some string) None
+                 & info [] ~docv:"EXPERIMENT"))
+
+let () =
+  let info =
+    Cmd.info "bvf" ~version:"1.0.0"
+      ~doc:"Find correctness bugs in a (simulated) eBPF verifier with \
+            structured and sanitized programs."
+  in
+  exit (Cmd.eval (Cmd.group info
+                    [ fuzz_cmd; repro_cmd; selftests_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/cve_2022_23222.ml: Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier List Printf

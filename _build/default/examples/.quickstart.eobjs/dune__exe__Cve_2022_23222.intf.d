@@ -1,0 +1,1 @@
+examples/cve_2022_23222.mli:

@@ -1,0 +1,1 @@
+examples/deadlock_tracepoint.ml: Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier List Printf

@@ -1,0 +1,1 @@
+examples/fuzz_campaign.ml: Array Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Format Hashtbl List Printf Sys

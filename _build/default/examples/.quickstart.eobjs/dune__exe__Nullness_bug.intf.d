@@ -1,0 +1,1 @@
+examples/nullness_bug.mli:

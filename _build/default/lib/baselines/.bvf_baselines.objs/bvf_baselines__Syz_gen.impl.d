@@ -1,0 +1,1 @@
+lib/baselines/syz_gen.ml: Array Bvf_core Bvf_ebpf Bvf_kernel Bvf_verifier Int32 Int64 List

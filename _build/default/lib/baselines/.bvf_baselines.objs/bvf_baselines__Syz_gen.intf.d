@@ -1,0 +1,1 @@
+lib/baselines/syz_gen.mli: Bvf_core Bvf_ebpf Bvf_verifier

@@ -1,0 +1,16 @@
+(** Buzzer-style generation, reproducing both modes the paper measured
+    (section 6.3): fully random bytes (~1% acceptance) and the
+    ALU/JMP-only mode (~97% acceptance, ≥88% ALU/JMP instructions,
+    touching almost none of the interesting verifier logic). *)
+
+type mode = Random_bytes | Alu_jmp
+
+val mode_to_string : mode -> string
+
+val generate :
+  mode -> Bvf_core.Rng.t -> Bvf_core.Gen.config ->
+  Bvf_verifier.Verifier.request
+
+val strategy : ?mode:mode -> unit -> Bvf_core.Campaign.strategy
+(** Defaults to [Alu_jmp], the mode the paper's coverage comparison
+    uses. *)

@@ -1,0 +1,16 @@
+(** Syzkaller-style generation: encoding-valid instructions assembled
+    from syscall-description-shaped templates and random fields, with no
+    register-state tracking — the baseline of the paper's section 6.3
+    whose acceptance rate sits at roughly half of BVF's and whose
+    rejections are dominated by EACCES/EINVAL. *)
+
+val random_insn :
+  Bvf_core.Rng.t -> Bvf_core.Gen.config -> len:int -> Bvf_ebpf.Insn.t
+
+val generate :
+  Bvf_core.Rng.t -> Bvf_core.Gen.config -> Bvf_verifier.Verifier.request
+(** One random BPF_PROG_LOAD request: minimal seed programs, template
+    fragments with randomized fields, or fully random instruction
+    runs. *)
+
+val strategy : Bvf_core.Campaign.strategy

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Array Bvf_kernel Cimport Corpus Coverage Disasm Format Gen Hashtbl Kconfig Kstate List Loader Lockdep Map Mutate Option Oracle Report Rng Venv Verifier Version

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Corpus Format Gen Hashtbl Oracle Rng

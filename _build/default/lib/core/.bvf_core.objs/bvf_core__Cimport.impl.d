@@ -1,0 +1,1 @@
+lib/core/cimport.ml: Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier

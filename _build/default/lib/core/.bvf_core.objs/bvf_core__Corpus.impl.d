@@ -1,0 +1,1 @@
+lib/core/corpus.ml: Cimport List Rng Verifier

@@ -1,0 +1,1 @@
+lib/core/corpus.mli: Bvf_verifier Rng

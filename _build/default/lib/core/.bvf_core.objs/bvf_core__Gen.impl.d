@@ -1,0 +1,1 @@
+lib/core/gen.ml: Array Asm Btf Cimport Helper Insn Int32 Int64 List Map Prog Rng Stdlib Tracepoint Verifier Version Word

@@ -1,0 +1,1 @@
+lib/core/gen.mli: Bvf_ebpf Bvf_kernel Bvf_verifier Rng

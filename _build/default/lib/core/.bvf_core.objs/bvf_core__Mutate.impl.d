@@ -1,0 +1,1 @@
+lib/core/mutate.ml: Array Asm Cimport Gen Insn Int64 List Rng Verifier Version

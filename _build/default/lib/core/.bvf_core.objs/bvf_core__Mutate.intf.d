@@ -1,0 +1,1 @@
+lib/core/mutate.mli: Bvf_ebpf Bvf_verifier Rng

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Bvf_kernel Cimport Kconfig List Loader Lockdep Printf Report Result String

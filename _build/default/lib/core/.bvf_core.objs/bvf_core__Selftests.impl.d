@@ -1,0 +1,1 @@
+lib/core/selftests.ml: Array Asm Cimport Coverage Gen Helper Insn Int32 Kconfig List Loader Map Prog Result Rng Verifier Version

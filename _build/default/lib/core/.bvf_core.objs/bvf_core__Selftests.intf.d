@@ -1,0 +1,1 @@
+lib/core/selftests.mli: Bvf_ebpf Bvf_runtime Bvf_verifier

@@ -1,0 +1,1 @@
+lib/core/triage.ml: Array Cimport Disasm Format Insn List Report Verifier

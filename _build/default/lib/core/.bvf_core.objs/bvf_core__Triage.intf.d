@@ -1,0 +1,1 @@
+lib/core/triage.mli: Bvf_ebpf Bvf_kernel Bvf_verifier Format

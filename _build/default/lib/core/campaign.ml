@@ -1,0 +1,219 @@
+open Cimport
+
+(* Fuzzing campaign driver: the outer loop of Figure 3.  One campaign
+   owns a simulated kernel (recreated when it "crashes", like rebooting
+   a fuzzing VM), a coverage map that persists across reboots, a corpus
+   of coverage-increasing inputs, and the dedup table of findings.
+
+   The driver is strategy-parametric so the same harness runs BVF and
+   the Syzkaller/Buzzer baselines under identical conditions (same
+   syscall surface, same coverage instrumentation) — the methodology of
+   the paper's section 6.3. *)
+
+type strategy = {
+  s_name : string;
+  s_feedback : bool; (* coverage-guided corpus mutation *)
+  s_generate :
+    Rng.t -> Gen.config -> Verifier.request option -> Verifier.request;
+    (* seed program (from the corpus) provided when feedback is on *)
+}
+
+(* The paper's tool: structured generation + coverage feedback. *)
+let bvf_strategy : strategy =
+  {
+    s_name = "BVF";
+    s_feedback = true;
+    s_generate =
+      (fun rng cfg seed ->
+         match seed with
+         | Some req when Rng.chance rng 0.4 ->
+           Mutate.mutate_request rng ~version:cfg.Gen.c_version req
+         | Some _ | None -> Gen.generate rng cfg);
+  }
+
+type found = {
+  fd_finding : Oracle.finding;
+  fd_iteration : int;
+  fd_request : Verifier.request;
+}
+
+type sample = { sa_iteration : int; sa_edges : int }
+
+type stats = {
+  st_tool : string;
+  st_version : Version.t;
+  mutable st_generated : int;
+  mutable st_accepted : int;
+  mutable st_rejected : int;
+  st_errno : (Venv.errno, int) Hashtbl.t;
+  st_findings : (string, found) Hashtbl.t; (* fingerprint -> first *)
+  mutable st_curve : sample list;          (* newest first *)
+  mutable st_histogram : Disasm.class_histogram;
+  mutable st_edges : int;
+  mutable st_reboots : int;
+}
+
+let acceptance_rate (s : stats) : float =
+  if s.st_generated = 0 then 0.0
+  else float_of_int s.st_accepted /. float_of_int s.st_generated
+
+let bugs_found (s : stats) : Kconfig.bug list =
+  Hashtbl.fold
+    (fun _ f acc ->
+       match f.fd_finding.Oracle.f_bug with
+       | Some b when not (List.mem b acc) -> b :: acc
+       | _ -> acc)
+    s.st_findings []
+
+let correctness_bugs_found (s : stats) : Kconfig.bug list =
+  Hashtbl.fold
+    (fun _ f acc ->
+       match f.fd_finding.Oracle.f_bug with
+       | Some b
+         when f.fd_finding.Oracle.f_correctness && not (List.mem b acc) ->
+         b :: acc
+       | _ -> acc)
+    s.st_findings []
+
+(* Standard map population for a session: one of each interesting kind. *)
+let standard_maps (session : Loader.t) : (int * Map.def) list =
+  let defs =
+    [ Map.array_def ~value_size:48 ~max_entries:4 ();
+      Map.hash_def ~key_size:8 ~value_size:48 ~max_entries:8 ();
+      Map.hash_def ~key_size:8 ~value_size:64 ~has_spin_lock:true ();
+      Map.ringbuf_def ~max_entries:4096 () ]
+  in
+  List.map (fun d -> (Loader.create_map session d, d)) defs
+
+(* A report that leaves the simulated kernel unusable. *)
+let is_fatal (r : Report.t) : bool =
+  match r.Report.kind with
+  | Report.Panic _ -> true
+  | Report.Lock_violation (Lockdep.Recursive_lock _)
+  | Report.Lock_violation (Lockdep.Held_at_exit _) -> true
+  | Report.Lock_violation _ | Report.Mem_fault _ | Report.Warn _
+  | Report.Alu_limit _ | Report.Runaway_execution -> false
+
+type t = {
+  config : Kconfig.t;
+  strategy : strategy;
+  rng : Rng.t;
+  cov : Coverage.t;
+  corpus : Corpus.t;
+  stats : stats;
+  mutable session : Loader.t;
+  mutable gen_config : Gen.config;
+  sample_every : int;
+}
+
+let reboot (c : t) : unit =
+  c.session <- Loader.create ~cov:c.cov c.config;
+  c.gen_config <-
+    { Gen.c_version = c.config.Kconfig.version;
+      c_maps = standard_maps c.session };
+  c.stats.st_reboots <- c.stats.st_reboots + 1
+
+let create ?(sample_every = 64) ~(seed : int) (strategy : strategy)
+    (config : Kconfig.t) : t =
+  let cov = Coverage.create () in
+  let session = Loader.create ~cov config in
+  let gen_config =
+    { Gen.c_version = config.Kconfig.version;
+      c_maps = standard_maps session }
+  in
+  {
+    config;
+    strategy;
+    rng = Rng.create seed;
+    cov;
+    corpus = Corpus.create ();
+    stats =
+      {
+        st_tool = strategy.s_name;
+        st_version = config.Kconfig.version;
+        st_generated = 0;
+        st_accepted = 0;
+        st_rejected = 0;
+        st_errno = Hashtbl.create 8;
+        st_findings = Hashtbl.create 32;
+        st_curve = [];
+        st_histogram = Disasm.empty_histogram;
+        st_edges = 0;
+        st_reboots = 0;
+      };
+    session;
+    gen_config;
+    sample_every;
+  }
+
+(* One fuzzing iteration: generate (or mutate), load, run, classify. *)
+let step (c : t) : unit =
+  let stats = c.stats in
+  let iteration = stats.st_generated in
+  let seed_req =
+    if c.strategy.s_feedback then Corpus.pick c.corpus c.rng else None
+  in
+  let req = c.strategy.s_generate c.rng c.gen_config seed_req in
+  stats.st_generated <- stats.st_generated + 1;
+  stats.st_histogram <-
+    Array.fold_left Disasm.classify stats.st_histogram
+      req.Verifier.r_insns;
+  (* snapshot local coverage through a per-run local edge table: the
+     loader records into the shared map; we measure growth *)
+  let edges_before = Coverage.edge_count c.cov in
+  let result = Loader.load_and_run c.session req in
+  let new_edges = Coverage.edge_count c.cov - edges_before in
+  (match result.Loader.verdict with
+   | Ok _ -> stats.st_accepted <- stats.st_accepted + 1
+   | Error e ->
+     stats.st_rejected <- stats.st_rejected + 1;
+     let k = e.Venv.errno in
+     Hashtbl.replace stats.st_errno k
+       (1 + Option.value (Hashtbl.find_opt stats.st_errno k) ~default:0));
+  if c.strategy.s_feedback then
+    Corpus.add c.corpus ~iteration ~new_edges req;
+  let findings = Oracle.classify c.config result in
+  List.iter
+    (fun f ->
+       let key =
+         f.Oracle.f_fingerprint
+         ^ (match f.Oracle.f_bug with
+             | Some b -> "|" ^ Kconfig.bug_to_string b
+             | None -> "")
+       in
+       if not (Hashtbl.mem stats.st_findings key) then
+         Hashtbl.replace stats.st_findings key
+           { fd_finding = f; fd_iteration = iteration; fd_request = req })
+    findings;
+  (* crash handling: reboot the kernel on fatal anomalies *)
+  if List.exists is_fatal result.Loader.reports then reboot c
+  else Bvf_kernel.Kmem.compact c.session.Loader.kst.Kstate.mem;
+  if iteration mod c.sample_every = 0 then
+    stats.st_curve <-
+      { sa_iteration = iteration; sa_edges = Coverage.edge_count c.cov }
+      :: stats.st_curve;
+  stats.st_edges <- Coverage.edge_count c.cov
+
+let run ?(sample_every = 64) ~(seed : int) ~(iterations : int)
+    (strategy : strategy) (config : Kconfig.t) : stats =
+  let c = create ~sample_every ~seed strategy config in
+  for _ = 1 to iterations do
+    step c
+  done;
+  c.stats.st_curve <-
+    { sa_iteration = iterations; sa_edges = Coverage.edge_count c.cov }
+    :: c.stats.st_curve;
+  c.stats
+
+let pp_summary fmt (s : stats) : unit =
+  Format.fprintf fmt
+    "%s on %s: %d programs, %.1f%% accepted, %d edges, %d findings (%d bugs, %d correctness), %d reboots@."
+    s.st_tool
+    (Version.to_string s.st_version)
+    s.st_generated
+    (100.0 *. acceptance_rate s)
+    s.st_edges
+    (Hashtbl.length s.st_findings)
+    (List.length (bugs_found s))
+    (List.length (correctness_bugs_found s))
+    s.st_reboots

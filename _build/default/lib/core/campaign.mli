@@ -1,0 +1,83 @@
+(** Fuzzing campaign driver: the outer loop of the paper's Figure 3.
+
+    One campaign owns a simulated kernel (recreated when it "crashes",
+    like rebooting a fuzzing VM), a coverage map that persists across
+    reboots, a corpus of coverage-increasing inputs, and the dedup table
+    of findings.  The driver is strategy-parametric, so the same harness
+    runs BVF and the Syzkaller/Buzzer baselines under identical
+    conditions (section 6.3's methodology). *)
+
+(** A pluggable generation strategy. *)
+type strategy = {
+  s_name : string;
+  s_feedback : bool; (** coverage-guided corpus mutation *)
+  s_generate :
+    Rng.t -> Gen.config -> Bvf_verifier.Verifier.request option ->
+    Bvf_verifier.Verifier.request;
+    (** a corpus seed is supplied when feedback is on *)
+}
+
+val bvf_strategy : strategy
+(** The paper's tool: structured generation plus coverage feedback. *)
+
+(** A deduplicated finding with discovery metadata. *)
+type found = {
+  fd_finding : Oracle.finding;
+  fd_iteration : int;
+  fd_request : Bvf_verifier.Verifier.request;
+}
+
+type sample = { sa_iteration : int; sa_edges : int }
+
+type stats = {
+  st_tool : string;
+  st_version : Bvf_ebpf.Version.t;
+  mutable st_generated : int;
+  mutable st_accepted : int;
+  mutable st_rejected : int;
+  st_errno : (Bvf_verifier.Venv.errno, int) Hashtbl.t;
+  st_findings : (string, found) Hashtbl.t;
+  mutable st_curve : sample list; (** newest first *)
+  mutable st_histogram : Bvf_ebpf.Disasm.class_histogram;
+  mutable st_edges : int;
+  mutable st_reboots : int;
+}
+
+val acceptance_rate : stats -> float
+val bugs_found : stats -> Bvf_kernel.Kconfig.bug list
+val correctness_bugs_found : stats -> Bvf_kernel.Kconfig.bug list
+
+val standard_maps :
+  Bvf_runtime.Loader.t -> (int * Bvf_kernel.Map.def) list
+(** The session's standard map population: array, hash, spin-lock hash
+    and ring buffer. *)
+
+val is_fatal : Bvf_kernel.Report.t -> bool
+(** Reports that leave the simulated kernel unusable (reboot). *)
+
+(** A running campaign. *)
+type t = {
+  config : Bvf_kernel.Kconfig.t;
+  strategy : strategy;
+  rng : Rng.t;
+  cov : Bvf_verifier.Coverage.t;
+  corpus : Corpus.t;
+  stats : stats;
+  mutable session : Bvf_runtime.Loader.t;
+  mutable gen_config : Gen.config;
+  sample_every : int;
+}
+
+val reboot : t -> unit
+
+val create :
+  ?sample_every:int -> seed:int -> strategy -> Bvf_kernel.Kconfig.t -> t
+
+val step : t -> unit
+(** One fuzzing iteration: generate (or mutate), load, run, classify. *)
+
+val run :
+  ?sample_every:int -> seed:int -> iterations:int -> strategy ->
+  Bvf_kernel.Kconfig.t -> stats
+
+val pp_summary : Format.formatter -> stats -> unit

@@ -1,0 +1,50 @@
+open Cimport
+
+(* Coverage-guided corpus: programs that exercised new verifier branches
+   are preserved and serve as mutation seeds, mirroring the Syzkaller
+   feedback loop BVF reuses (paper section 5). *)
+
+type entry = {
+  request : Verifier.request;
+  new_edges : int;      (* edges this entry contributed when added *)
+  added_at : int;       (* iteration number *)
+}
+
+type t = {
+  mutable entries : entry list;
+  mutable total : int;
+  max_size : int;
+}
+
+let create ?(max_size = 256) () = { entries = []; total = 0; max_size }
+
+let size (t : t) : int = t.total
+
+let add (t : t) ~(iteration : int) ~(new_edges : int)
+    (request : Verifier.request) : unit =
+  if new_edges > 0 then begin
+    t.entries <- { request; new_edges; added_at = iteration } :: t.entries;
+    t.total <- t.total + 1;
+    if t.total > t.max_size then begin
+      (* drop the weakest old half when full *)
+      let sorted =
+        List.sort (fun a b -> compare b.new_edges a.new_edges) t.entries
+      in
+      let keep = t.max_size / 2 in
+      t.entries <- List.filteri (fun i _ -> i < keep) sorted;
+      t.total <- keep
+    end
+  end
+
+(* Pick a seed: weighted towards entries that contributed more edges,
+   with a recency bonus. *)
+let pick (t : t) (rng : Rng.t) : Verifier.request option =
+  match t.entries with
+  | [] -> None
+  | entries ->
+    let weighted =
+      List.map
+        (fun e -> (1 + e.new_edges + (e.added_at / 64), e.request))
+        entries
+    in
+    Some (Rng.weighted rng weighted)

@@ -1,0 +1,24 @@
+(** Coverage-guided corpus: programs that exercised new verifier
+    branches are preserved and serve as mutation seeds, mirroring the
+    Syzkaller feedback loop BVF reuses (paper section 5). *)
+
+type entry = {
+  request : Bvf_verifier.Verifier.request;
+  new_edges : int;
+  added_at : int;
+}
+
+type t
+
+val create : ?max_size:int -> unit -> t
+val size : t -> int
+
+val add :
+  t -> iteration:int -> new_edges:int -> Bvf_verifier.Verifier.request ->
+  unit
+(** Entries contributing no new edges are dropped; when full, the
+    weakest half is evicted. *)
+
+val pick : t -> Rng.t -> Bvf_verifier.Verifier.request option
+(** Weighted towards entries that contributed more edges, with a recency
+    bonus. *)

@@ -1,0 +1,31 @@
+(** Structured program generation — the paper's section 4.1.
+
+    Programs are partitioned into an {b init header} (register loading:
+    map fds, direct map values, BTF objects, immediates, a saved context
+    pointer), a {b framed body} (basic / jump / call frames chosen with
+    equal probability, with nested jump frames and occasional bounded
+    back-edge loops), and an {b end section} (lock/reference cleanup and
+    a valid exit).
+
+    The generator tracks an abstract state per register — the paper's
+    "recording the registers' states in different program points, and
+    synthesizing operations according to the states" — so emitted
+    operations are mostly coherent, while a tunable fraction of
+    boundary-probing emissions exercises the verifier's rejection
+    edges. *)
+
+(** What the session provides to the generator. *)
+type config = {
+  c_version : Bvf_ebpf.Version.t;
+  c_maps : (int * Bvf_kernel.Map.def) list; (** fds created upfront *)
+}
+
+val pick_prog_type : Rng.t -> Bvf_ebpf.Prog.prog_type
+
+val pick_attach :
+  Rng.t -> version:Bvf_ebpf.Version.t -> Bvf_ebpf.Prog.prog_type ->
+  string option
+(** A valid attach point for the program type (or none). *)
+
+val generate : Rng.t -> config -> Bvf_verifier.Verifier.request
+(** Generate one structured program request. *)

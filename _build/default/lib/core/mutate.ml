@@ -1,0 +1,132 @@
+open Cimport
+
+(* Mutation operators over generated programs.  Mutations work on the
+   structured instruction array; offsets are kept consistent where the
+   operator can do so cheaply (block duplication re-targets contained
+   branches), and the verifier rejects the rest — matching how fuzzer
+   mutations behave on real eBPF payloads.
+
+   The paper singles out adjacent-instruction duplication as the way
+   BVF simulates unrolled loops (section 4.1). *)
+
+let clamp_index rng (n : int) : int = if n = 0 then 0 else Rng.int rng n
+
+(* Duplicate a short adjacent block, the "unrolled loop" mutation.
+   Branches inside the copied block keep their relative offsets; a
+   branch leaving the block would change meaning, so such blocks are
+   not duplicated. *)
+let duplicate_block (rng : Rng.t) (insns : Insn.t array) : Insn.t array =
+  let n = Array.length insns in
+  if n < 4 then insns
+  else begin
+    let len = 1 + Rng.int rng (min 6 (n / 2)) in
+    let start = clamp_index rng (n - len - 1) in
+    let block = Array.sub insns start len in
+    let self_contained =
+      Array.to_list block
+      |> List.mapi (fun k i -> (k, i))
+      |> List.for_all (fun (k, i) ->
+          match i with
+          | Insn.Jmp { off; _ } | Insn.Ja off | Insn.Call (Insn.Local off)
+            ->
+            let target = k + 1 + off in
+            target >= 0 && target <= len
+          | _ -> true)
+    in
+    if not self_contained then insns
+    else
+      Array.concat
+        [ Array.sub insns 0 (start + len);
+          block;
+          Array.sub insns (start + len) (n - start - len) ]
+  end
+
+(* Nudge an immediate towards an interesting value. *)
+let tweak_imm (rng : Rng.t) (insns : Insn.t array) : Insn.t array =
+  let n = Array.length insns in
+  if n = 0 then insns
+  else begin
+    let out = Array.copy insns in
+    let i = clamp_index rng n in
+    let interesting () = Int64.to_int32 (Rng.interesting rng) in
+    out.(i) <-
+      (match out.(i) with
+       | Insn.Alu ({ src = Insn.Imm _; _ } as a) ->
+         Insn.Alu { a with src = Insn.Imm (interesting ()) }
+       | Insn.St s -> Insn.St { s with imm = interesting () }
+       | Insn.Ld_imm64 (r, Insn.Const _) ->
+         Insn.Ld_imm64 (r, Insn.Const (Rng.interesting rng))
+       | Insn.Jmp ({ src = Insn.Imm _; _ } as j) ->
+         Insn.Jmp { j with src = Insn.Imm (interesting ()) }
+       | other -> other);
+    out
+  end
+
+(* Nudge a memory-access offset: the classic off-by-N probe. *)
+let tweak_off (rng : Rng.t) (insns : Insn.t array) : Insn.t array =
+  let n = Array.length insns in
+  if n = 0 then insns
+  else begin
+    let out = Array.copy insns in
+    let i = clamp_index rng n in
+    let delta = Rng.choose rng [ -8; -4; -1; 1; 4; 8 ] in
+    out.(i) <-
+      (match out.(i) with
+       | Insn.Ldx l -> Insn.Ldx { l with off = l.off + delta }
+       | Insn.St s -> Insn.St { s with off = s.off + delta }
+       | Insn.Stx s -> Insn.Stx { s with off = s.off + delta }
+       | Insn.Atomic a -> Insn.Atomic { a with off = a.off + delta }
+       | other -> other);
+    out
+  end
+
+(* Replace one register use with another. *)
+let swap_reg (rng : Rng.t) (insns : Insn.t array) : Insn.t array =
+  let n = Array.length insns in
+  if n = 0 then insns
+  else begin
+    let out = Array.copy insns in
+    let i = clamp_index rng n in
+    let fresh () = Rng.choose rng Insn.all_regs in
+    out.(i) <-
+      (match out.(i) with
+       | Insn.Alu a -> Insn.Alu { a with dst = fresh () }
+       | Insn.Ldx l -> Insn.Ldx { l with src = fresh () }
+       | Insn.Stx s -> Insn.Stx { s with src = fresh () }
+       | other -> other);
+    out
+  end
+
+(* Drop a tail portion and close with a valid epilogue. *)
+let truncate (rng : Rng.t) (insns : Insn.t array) : Insn.t array =
+  let n = Array.length insns in
+  if n < 6 then insns
+  else begin
+    let keep = 2 + Rng.int rng (n - 4) in
+    Array.append (Array.sub insns 0 keep)
+      [| Asm.mov64_imm Insn.R0 0l; Asm.exit_ |]
+  end
+
+(* Apply one random mutation. *)
+let mutate (rng : Rng.t) (insns : Insn.t array) : Insn.t array =
+  match
+    Rng.weighted rng
+      [ (3, `Dup); (3, `Imm); (2, `Off); (1, `Reg); (1, `Trunc) ]
+  with
+  | `Dup -> duplicate_block rng insns
+  | `Imm -> tweak_imm rng insns
+  | `Off -> tweak_off rng insns
+  | `Reg -> swap_reg rng insns
+  | `Trunc -> truncate rng insns
+
+(* Mutate a full request, occasionally re-targeting the attach point. *)
+let mutate_request (rng : Rng.t) ~(version : Version.t)
+    (req : Verifier.request) : Verifier.request =
+  let req =
+    { req with Verifier.r_insns = mutate rng req.Verifier.r_insns }
+  in
+  if Rng.chance rng 0.15 then
+    { req with
+      Verifier.r_attach =
+        Gen.pick_attach rng ~version req.Verifier.r_prog_type }
+  else req

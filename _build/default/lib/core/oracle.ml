@@ -1,0 +1,150 @@
+open Cimport
+
+(* The test oracle (paper section 3): a kernel report raised by a
+   program the verifier ACCEPTED is, by construction, a correctness bug
+   in the verifier (indicator #1 when the program's own instructions
+   misbehaved and the sanitation caught it; indicator #2 when a kernel
+   routine the program invoked misbehaved and a kernel self-check
+   caught it).  Reports raised while the program was rejected, or by
+   syscall machinery independent of the verdict, are ordinary kernel
+   bugs — still vulnerabilities (Table 2 rows 7-11), just not verifier
+   correctness bugs. *)
+
+type indicator =
+  | Ind1 (* invalid load/store or alu_limit violation in the program *)
+  | Ind2 (* anomaly inside an invoked kernel routine *)
+
+let indicator_to_string = function
+  | Ind1 -> "indicator#1"
+  | Ind2 -> "indicator#2"
+
+type finding = {
+  f_indicator : indicator option; (* None: not gated on the verifier *)
+  f_report : Report.t;
+  f_bug : Kconfig.bug option;     (* ground-truth attribution *)
+  f_fingerprint : string;
+  f_correctness : bool;           (* a verifier correctness bug? *)
+}
+
+let classify_indicator (r : Report.t) : indicator =
+  match r.Report.origin with
+  | Report.Sanitizer | Report.Bpf_native -> Ind1
+  | Report.Kernel_routine _ -> Ind2
+
+(* Ground-truth attribution: which injected bug (of those present in the
+   config) explains this report.  This plays the role of the paper's
+   manual triage for the purpose of the Table 2 experiment. *)
+let attribute (config : Kconfig.t) (r : Report.t) : Kconfig.bug option =
+  let has b = Kconfig.has config b in
+  let routine =
+    match r.Report.origin with
+    | Report.Kernel_routine routine -> Some routine
+    | Report.Sanitizer | Report.Bpf_native -> None
+  in
+  match r.Report.kind, routine with
+  | Report.Lock_violation (Lockdep.Recursive_lock cls), _
+    when cls = "trace_printk_buf" && has Kconfig.Bug4_trace_printk_recursion
+    ->
+    Some Kconfig.Bug4_trace_printk_recursion
+  | Report.Lock_violation (Lockdep.Recursive_lock _), _
+    when has Kconfig.Bug5_contention_begin_attach ->
+    Some Kconfig.Bug5_contention_begin_attach
+  | Report.Lock_violation (Lockdep.Held_at_exit _), _
+    when has Kconfig.Bug5_contention_begin_attach ->
+    (* a recursion aborted inside the critical section, leaking the
+       lock: secondary fingerprint of the Figure 2 bug *)
+    Some Kconfig.Bug5_contention_begin_attach
+  | Report.Lock_violation (Lockdep.Held_at_exit _), _
+    when has Kconfig.Bug4_trace_printk_recursion ->
+    Some Kconfig.Bug4_trace_printk_recursion
+  | Report.Lock_violation (Lockdep.Lock_in_nmi cls), _
+    when cls = "irq_work" && has Kconfig.Bug10_irq_work_lock ->
+    Some Kconfig.Bug10_irq_work_lock
+  | Report.Panic _, _ when has Kconfig.Bug6_signal_send_nmi ->
+    Some Kconfig.Bug6_signal_send_nmi
+  | Report.Mem_fault _, Some "bpf_dispatcher_xdp_func"
+    when has Kconfig.Bug7_dispatcher_race ->
+    Some Kconfig.Bug7_dispatcher_race
+  | Report.Warn w, _
+    when has Kconfig.Bug8_kmemdup_limit
+      && String.length w >= 7 && String.sub w 0 7 = "kmemdup" ->
+    Some Kconfig.Bug8_kmemdup_limit
+  | Report.Mem_fault _, Some "htab_map_delete_elem"
+    when has Kconfig.Bug9_map_bucket_iter ->
+    Some Kconfig.Bug9_map_bucket_iter
+  | Report.Warn w, _
+    when has Kconfig.Bug11_xdp_host_exec
+      && String.length w >= 6 && String.sub w 0 6 = "device" ->
+    Some Kconfig.Bug11_xdp_host_exec
+  | Report.Mem_fault f, None -> begin
+      (* sanitizer-caught memory anomaly: distinguish the verifier bugs
+         by the victim object *)
+      let near s =
+        match f.Bvf_kernel.Kmem.fregion with
+        | Some desc ->
+          String.length desc >= String.length s
+          && String.sub desc 0 (String.length s) = s
+        | None -> false
+      in
+      if near "btf:" && has Kconfig.Bug2_btf_size_check then
+        Some Kconfig.Bug2_btf_size_check
+      else if f.Bvf_kernel.Kmem.fkind = Bvf_kernel.Kmem.Null_deref
+              && has Kconfig.Bug1_nullness_propagation then
+        Some Kconfig.Bug1_nullness_propagation
+      else if f.Bvf_kernel.Kmem.fkind = Bvf_kernel.Kmem.Null_deref
+              && has Kconfig.Cve_2022_23222 then
+        Some Kconfig.Cve_2022_23222
+      else if has Kconfig.Bug3_backtrack_precision then
+        Some Kconfig.Bug3_backtrack_precision
+      else if has Kconfig.Cve_2022_23222 then Some Kconfig.Cve_2022_23222
+      else None
+    end
+  | Report.Alu_limit _, _ ->
+    if has Kconfig.Bug3_backtrack_precision then
+      Some Kconfig.Bug3_backtrack_precision
+    else if has Kconfig.Cve_2022_23222 then Some Kconfig.Cve_2022_23222
+    else None
+  | (Report.Mem_fault _ | Report.Lock_violation _ | Report.Panic _
+    | Report.Warn _ | Report.Runaway_execution), _ -> None
+
+(* Bugs whose reports are verifier correctness bugs (the program was
+   accepted and misbehaved) vs. plain kernel bugs in eBPF components. *)
+let is_correctness_bug (b : Kconfig.bug) : bool =
+  match Kconfig.bug_info b with
+  | _, _, `Correctness -> true
+  | _, _, (`Memory | `Lock) -> false
+
+(* Classify the outcome of one load(+run) cycle. *)
+let classify (config : Kconfig.t) (result : Loader.run_result) :
+  finding list =
+  let accepted = Result.is_ok result.Loader.verdict in
+  List.map
+    (fun report ->
+       let bug = attribute config report in
+       let indicator = if accepted then Some (classify_indicator report)
+         else None in
+       let correctness =
+         accepted
+         && (match bug with
+             | Some b -> is_correctness_bug b
+             | None -> true (* unexplained anomaly in accepted program *))
+       in
+       {
+         f_indicator = indicator;
+         f_report = report;
+         f_bug = bug;
+         f_fingerprint = Report.fingerprint report;
+         f_correctness = correctness;
+       })
+    result.Loader.reports
+
+let finding_to_string (f : finding) : string =
+  Printf.sprintf "%s%s%s: %s"
+    (match f.f_indicator with
+     | Some i -> indicator_to_string i ^ " "
+     | None -> "")
+    (if f.f_correctness then "[correctness] " else "")
+    (match f.f_bug with
+     | Some b -> "(" ^ Kconfig.bug_to_string b ^ ")"
+     | None -> "(unattributed)")
+    (Report.to_string f.f_report)

@@ -1,0 +1,59 @@
+(* Deterministic PRNG (splitmix64) so fuzzing campaigns, tests and
+   benches are reproducible from a seed. *)
+
+type t = { mutable state : int64 }
+
+let create (seed : int) : t = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+let next (t : t) : int64 =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, n). *)
+let int (t : t) (n : int) : int =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int n))
+
+let bool (t : t) : bool = Int64.logand (next t) 1L = 1L
+
+(* True with probability [p]. *)
+let chance (t : t) (p : float) : bool =
+  let u =
+    Int64.to_float (Int64.shift_right_logical (next t) 11)
+    /. 9007199254740992.0
+  in
+  u < p
+
+let choose (t : t) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let choose_opt (t : t) (xs : 'a list) : 'a option =
+  match xs with [] -> None | _ -> Some (choose t xs)
+
+(* Weighted choice: [(weight, value); ...]. *)
+let weighted (t : t) (xs : (int * 'a) list) : 'a =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 xs in
+  if total <= 0 then invalid_arg "Rng.weighted: no weight";
+  let pick = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | (w, v) :: rest -> if pick < acc + w then v else go (acc + w) rest
+  in
+  go 0 xs
+
+(* Values that historically find bugs: boundaries and magic constants. *)
+let interesting_int64 =
+  [ 0L; 1L; -1L; 2L; 7L; 8L; 255L; 256L; 4095L; 4096L;
+    0x7FFF_FFFFL; 0x8000_0000L; 0xFFFF_FFFFL; 0x1_0000_0000L;
+    Int64.max_int; Int64.min_int ]
+
+let interesting (t : t) : int64 =
+  if chance t 0.5 then choose t interesting_int64
+  else Int64.of_int (int t 512 - 256)

@@ -1,0 +1,26 @@
+(** Deterministic PRNG (splitmix64) so fuzzing campaigns, tests and
+    benches are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, n)].  @raise Invalid_argument when [n <= 0]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** True with probability [p]. *)
+
+val choose : t -> 'a list -> 'a
+val choose_opt : t -> 'a list -> 'a option
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Weighted choice; zero-weight entries are never picked. *)
+
+val interesting_int64 : int64 list
+(** Boundary and magic constants that historically find bugs. *)
+
+val interesting : t -> int64

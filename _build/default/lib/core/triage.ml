@@ -1,0 +1,67 @@
+open Cimport
+
+(* Bug triage (paper section 6.5 "Bug Triage"): given a faulting
+   program, pinpoint the guilty instruction from the report's program
+   counter and slice backwards through the def-use chain to collect the
+   operations that produced its operands — the starting point for
+   locating the incorrect verifier logic. *)
+
+type slice = {
+  guilty_pc : int option;
+  guilty : Insn.t option;
+  relevant : (int * Insn.t) list; (* backward def-use slice, in order *)
+}
+
+(* Registers whose values feed instruction [i]. *)
+let deps_of (i : Insn.t) : Insn.reg list = Insn.regs_read i
+
+(* Walk backwards from [pc], tracking which registers we still need the
+   definition of.  Control flow is approximated linearly (sound enough
+   for triage display purposes). *)
+let backward_slice (insns : Insn.t array) (pc : int) : (int * Insn.t) list
+  =
+  if pc < 0 || pc >= Array.length insns then []
+  else begin
+    let needed = ref (deps_of insns.(pc)) in
+    let out = ref [] in
+    let remove r = needed := List.filter (fun x -> x <> r) !needed in
+    let add r = if not (List.mem r !needed) then needed := r :: !needed in
+    let idx = ref (pc - 1) in
+    while !idx >= 0 && !needed <> [] do
+      let i = insns.(!idx) in
+      let writes = Insn.regs_written i in
+      let relevant = List.exists (fun w -> List.mem w !needed) writes in
+      if relevant then begin
+        out := (!idx, i) :: !out;
+        List.iter remove writes;
+        List.iter add (deps_of i)
+      end;
+      decr idx
+    done;
+    !out
+  end
+
+let slice_report (prog : Verifier.loaded) (report : Report.t) : slice =
+  match report.Report.pc with
+  | None -> { guilty_pc = None; guilty = None; relevant = [] }
+  | Some pc ->
+    let insns = prog.Verifier.l_insns in
+    if pc < 0 || pc >= Array.length insns then
+      { guilty_pc = Some pc; guilty = None; relevant = [] }
+    else
+      { guilty_pc = Some pc; guilty = Some insns.(pc);
+        relevant = backward_slice insns pc }
+
+let pp_slice fmt (s : slice) : unit =
+  (match s.guilty_pc, s.guilty with
+   | Some pc, Some i ->
+     Format.fprintf fmt "guilty insn at %d: %s@." pc (Disasm.insn_to_string i)
+   | Some pc, None -> Format.fprintf fmt "guilty pc %d (out of range)@." pc
+   | None, _ -> Format.fprintf fmt "no guilty pc recorded@.");
+  List.iter
+    (fun (pc, i) ->
+       Format.fprintf fmt "  dep %3d: %s@." pc (Disasm.insn_to_string i))
+    s.relevant
+
+let slice_to_string (s : slice) : string =
+  Format.asprintf "%a" pp_slice s

@@ -1,0 +1,22 @@
+(** Bug triage (paper section 6.5): pinpoint the guilty instruction from
+    a report's program counter and slice backwards through the def-use
+    chain to collect the operations that produced its operands — the
+    starting point for locating the incorrect verifier logic. *)
+
+type slice = {
+  guilty_pc : int option;
+  guilty : Bvf_ebpf.Insn.t option;
+  relevant : (int * Bvf_ebpf.Insn.t) list; (** backward def-use slice *)
+}
+
+val deps_of : Bvf_ebpf.Insn.t -> Bvf_ebpf.Insn.reg list
+
+val backward_slice :
+  Bvf_ebpf.Insn.t array -> int -> (int * Bvf_ebpf.Insn.t) list
+(** Linear backward def-use walk from the given pc. *)
+
+val slice_report :
+  Bvf_verifier.Verifier.loaded -> Bvf_kernel.Report.t -> slice
+
+val pp_slice : Format.formatter -> slice -> unit
+val slice_to_string : slice -> string

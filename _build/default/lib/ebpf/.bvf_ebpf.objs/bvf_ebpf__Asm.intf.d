@@ -1,0 +1,1 @@
+lib/ebpf/asm.mli: Insn

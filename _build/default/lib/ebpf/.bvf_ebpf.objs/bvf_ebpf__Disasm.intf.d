@@ -1,0 +1,1 @@
+lib/ebpf/disasm.mli: Format Insn

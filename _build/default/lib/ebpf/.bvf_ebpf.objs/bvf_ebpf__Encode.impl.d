@@ -1,0 +1,1 @@
+lib/ebpf/encode.ml: Array Bytes Char Format Insn Int32 Int64 List Printf Word

@@ -1,0 +1,1 @@
+lib/ebpf/encode.mli: Bytes Insn

@@ -1,0 +1,1 @@
+lib/ebpf/helper.ml: Hashtbl List Printf Prog Version

@@ -1,0 +1,1 @@
+lib/ebpf/helper.mli: Prog Version

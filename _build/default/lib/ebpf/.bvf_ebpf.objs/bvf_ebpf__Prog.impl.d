@@ -1,0 +1,1 @@
+lib/ebpf/prog.ml: Format List Printf

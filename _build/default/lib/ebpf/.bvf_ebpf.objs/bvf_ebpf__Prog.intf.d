@@ -1,0 +1,1 @@
+lib/ebpf/prog.mli: Format

@@ -1,0 +1,1 @@
+lib/ebpf/version.mli: Format

@@ -1,0 +1,1 @@
+lib/ebpf/word.ml: Bytes Char Int64 List

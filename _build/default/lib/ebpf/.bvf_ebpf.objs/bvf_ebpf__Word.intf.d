@@ -1,0 +1,1 @@
+lib/ebpf/word.mli: Bytes

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Bvf_baselines Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Hashtbl List Option Printf String Unix

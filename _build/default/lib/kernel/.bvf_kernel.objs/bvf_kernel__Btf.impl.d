@@ -1,0 +1,1 @@
+lib/kernel/btf.ml: List

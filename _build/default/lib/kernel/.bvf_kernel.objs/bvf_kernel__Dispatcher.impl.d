@@ -1,0 +1,1 @@
+lib/kernel/dispatcher.ml: Array Kmem Report

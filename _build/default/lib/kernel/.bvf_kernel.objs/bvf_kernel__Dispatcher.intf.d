@@ -1,0 +1,1 @@
+lib/kernel/dispatcher.mli: Report

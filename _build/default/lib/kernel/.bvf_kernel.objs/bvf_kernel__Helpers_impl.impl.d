@@ -1,0 +1,1 @@
+lib/kernel/helpers_impl.ml: Array Bytes Helper Import Int64 Kconfig Kmem Kstate List Lockdep Map Printf Report Tracepoint Word

@@ -1,0 +1,1 @@
+lib/kernel/helpers_impl.mli: Bvf_ebpf Kmem Kstate

@@ -1,0 +1,1 @@
+lib/kernel/import.ml: Bvf_ebpf

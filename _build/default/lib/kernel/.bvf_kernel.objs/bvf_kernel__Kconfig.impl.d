@@ -1,0 +1,1 @@
+lib/kernel/kconfig.ml: Import List Version

@@ -1,0 +1,1 @@
+lib/kernel/kmem.ml: Bytes Import Int64 List Printf Shadow Word

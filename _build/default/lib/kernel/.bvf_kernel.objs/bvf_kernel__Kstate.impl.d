@@ -1,0 +1,1 @@
+lib/kernel/kstate.ml: Btf Bytes Dispatcher Int64 Kconfig Kmem List Lockdep Map Report Tracepoint

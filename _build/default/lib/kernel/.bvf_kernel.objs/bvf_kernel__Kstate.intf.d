@@ -1,0 +1,1 @@
+lib/kernel/kstate.mli: Dispatcher Kconfig Kmem Lockdep Map Report

@@ -1,0 +1,1 @@
+lib/kernel/lockdep.ml: List Printf String

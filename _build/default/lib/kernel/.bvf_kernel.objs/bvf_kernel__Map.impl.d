@@ -1,0 +1,1 @@
+lib/kernel/map.ml: Bytes Hashtbl Import Int64 Kmem List Printf Word

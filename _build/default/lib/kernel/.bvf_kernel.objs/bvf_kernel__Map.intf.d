@@ -1,0 +1,1 @@
+lib/kernel/map.mli: Bytes Hashtbl Kmem

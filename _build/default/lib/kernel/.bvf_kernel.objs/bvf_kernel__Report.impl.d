@@ -1,0 +1,1 @@
+lib/kernel/report.ml: Kmem Lockdep Option Printf Shadow

@@ -1,0 +1,1 @@
+lib/kernel/report.mli: Kmem Lockdep

@@ -1,0 +1,1 @@
+lib/kernel/shadow.ml: Hashtbl Int64 Printf

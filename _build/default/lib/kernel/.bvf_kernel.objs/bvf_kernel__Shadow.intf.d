@@ -1,0 +1,1 @@
+lib/kernel/shadow.mli:

@@ -1,0 +1,1 @@
+lib/kernel/tracepoint.ml: Import List Lockdep Prog Version

@@ -1,0 +1,1 @@
+lib/kernel/tracepoint.mli: Bvf_ebpf Lockdep

@@ -1,0 +1,38 @@
+(* BTF-typed kernel objects programs can obtain pointers to via
+   LD_IMM64/BPF_PSEUDO_BTF_ID or helper returns.
+
+   [runtime_null] marks objects whose address is NULL on this (simulated)
+   CPU — e.g. a per-cpu variable not allocated here.  The verifier still
+   types them PTR_TO_BTF_ID *without* a maybe_null flag, exactly the
+   asymmetry that paper Bug#1 (Listing 2) exploits: dereferences of BTF
+   pointers are exception-tabled by the kernel and fail gracefully, so
+   "no null check required" is safe for *loads from* them, but comparing
+   them against genuinely nullable pointers misleads the buggy nullness
+   propagation. *)
+
+type desc = {
+  btf_id : int;
+  btf_name : string;
+  btf_size : int;
+  runtime_null : bool;
+}
+
+let task_struct = { btf_id = 1; btf_name = "task_struct"; btf_size = 256;
+                    runtime_null = false }
+
+(* Per-cpu object that happens to be NULL at runtime on this CPU. *)
+let percpu_slot = { btf_id = 2; btf_name = "percpu_slot"; btf_size = 64;
+                    runtime_null = true }
+
+let cgroup = { btf_id = 3; btf_name = "cgroup"; btf_size = 128;
+               runtime_null = false }
+
+let catalogue = [ task_struct; percpu_slot; cgroup ]
+
+let find (id : int) : desc option =
+  List.find_opt (fun d -> d.btf_id = id) catalogue
+
+(* Size the *buggy* verifier believes the object has: Bug#2 inflates the
+   validated window of task_struct by 64 bytes, letting OOB reads pass. *)
+let validated_size ~(bug2 : bool) (d : desc) : int =
+  if bug2 && d.btf_name = "task_struct" then d.btf_size + 64 else d.btf_size

@@ -1,0 +1,11 @@
+(* Short aliases for the ISA library modules used across the simulated
+   kernel. *)
+
+module Word = Bvf_ebpf.Word
+module Version = Bvf_ebpf.Version
+module Insn = Bvf_ebpf.Insn
+module Asm = Bvf_ebpf.Asm
+module Prog = Bvf_ebpf.Prog
+module Helper = Bvf_ebpf.Helper
+module Encode = Bvf_ebpf.Encode
+module Disasm = Bvf_ebpf.Disasm

@@ -1,0 +1,51 @@
+(** Kernel configuration for a simulated instance: version (gating
+    features), the registry of injected historical bugs — the ground
+    truth for the Table 2 experiment — and the Kconfig-style switch for
+    the paper's bpf_asan sanitation patches. *)
+
+(** The injected bug corpus: the paper's Table 2 plus CVE-2022-23222. *)
+type bug =
+  | Bug1_nullness_propagation
+  | Bug2_btf_size_check
+  | Bug3_backtrack_precision
+  | Bug4_trace_printk_recursion
+  | Bug5_contention_begin_attach
+  | Bug6_signal_send_nmi
+  | Cve_2022_23222
+  | Bug7_dispatcher_race
+  | Bug8_kmemdup_limit
+  | Bug9_map_bucket_iter
+  | Bug10_irq_work_lock
+  | Bug11_xdp_host_exec
+
+val all_bugs : bug list
+val bug_to_string : bug -> string
+
+val bug_info : bug -> string * string * [ `Correctness | `Memory | `Lock ]
+(** Table 2 component, description and class. *)
+
+val bug_in_version : Bvf_ebpf.Version.t -> bug -> bool
+(** Historical presence: which versions shipped the bug before its
+    fix. *)
+
+type t = {
+  version : Bvf_ebpf.Version.t;
+  bugs : bug list;
+  sanitize : bool;      (** CONFIG_BPF_ASAN: the paper's patches *)
+  unprivileged : bool;
+}
+
+val make :
+  ?bugs:bug list -> ?sanitize:bool -> ?unprivileged:bool ->
+  Bvf_ebpf.Version.t -> t
+
+val default : Bvf_ebpf.Version.t -> t
+(** The version's historical bug set, sanitation enabled: what the
+    paper's campaigns ran against. *)
+
+val fixed : Bvf_ebpf.Version.t -> t
+(** A fully fixed kernel: no injected bugs. *)
+
+val has : t -> bug -> bool
+val with_bugs : t -> bug list -> t
+val with_sanitize : t -> bool -> t

@@ -1,0 +1,246 @@
+open Import
+
+(* Simulated kernel memory: an allocator handing out regions of a 64-bit
+   address space, with backing bytes, KASAN shadow tracking and redzones.
+
+   Two access paths exist, mirroring the real kernel:
+
+   - [checked_*]: the KASAN-instrumented path used by kernel routines and
+     by the paper's bpf_asan_* sanitizing functions; every access is
+     validated against shadow memory and violations produce reports.
+
+   - [raw_*]: what natively-JITed eBPF code does.  No shadow check: an
+     access that lands inside *some* live or dead region silently reads
+     or corrupts memory (exactly why verifier correctness bugs are hard
+     to observe), while an access outside any region faults like a page
+     fault would, producing a kernel oops. *)
+
+type kind =
+  | Stack of int (* eBPF stack, frame number *)
+  | Ctx
+  | Map_array of int          (* map id; all values contiguous *)
+  | Map_elem of int           (* hash map element; map id *)
+  | Ringbuf_chunk of int      (* map id *)
+  | Btf_object of string      (* kernel object name, e.g. task_struct *)
+  | Packet
+  | Kernel_internal of string (* buckets, dispatcher tables, ... *)
+
+let kind_to_string = function
+  | Stack f -> Printf.sprintf "bpf_stack[frame %d]" f
+  | Ctx -> "bpf_ctx"
+  | Map_array id -> Printf.sprintf "array_map#%d" id
+  | Map_elem id -> Printf.sprintf "htab_elem#%d" id
+  | Ringbuf_chunk id -> Printf.sprintf "ringbuf#%d" id
+  | Btf_object n -> Printf.sprintf "btf:%s" n
+  | Packet -> "packet"
+  | Kernel_internal n -> Printf.sprintf "kernel:%s" n
+
+type region = {
+  base : int64;
+  size : int;
+  data : Bytes.t;
+  rkind : kind;
+  mutable live : bool;
+}
+
+type t = {
+  shadow : Shadow.t;
+  mutable regions : region list; (* most recently allocated first *)
+  mutable next : int64;
+  mutable last_hit : region option; (* accessor memo: locality is high *)
+}
+
+let redzone = 64
+let base_addr = 0x4000_0000_0000L
+
+let create () =
+  { shadow = Shadow.create (); regions = []; next = base_addr;
+    last_hit = None }
+
+let align8 n = (n + 7) / 8 * 8
+
+let alloc (t : t) ~(kind : kind) ~(size : int) : region =
+  if size <= 0 then invalid_arg "Kmem.alloc: size must be positive";
+  let base = t.next in
+  let r = { base; size; data = Bytes.make size '\000'; rkind = kind;
+            live = true } in
+  t.next <- Int64.add t.next (Int64.of_int (align8 size + redzone));
+  Shadow.poison t.shadow ~addr:base ~size:(align8 size + redzone)
+    Shadow.Redzone;
+  Shadow.unpoison t.shadow ~addr:base ~size;
+  t.regions <- r :: t.regions;
+  r
+
+let free (t : t) (r : region) : unit =
+  if r.live then begin
+    r.live <- false;
+    (match t.last_hit with
+     | Some hit when hit == r -> t.last_hit <- None
+     | _ -> ());
+    Shadow.poison t.shadow ~addr:r.base ~size:(align8 r.size) Shadow.Freed
+  end
+
+(* Reclaim old freed regions so long-lived instances (fuzzing sessions)
+   do not accumulate unbounded region lists.  The most recent
+   [keep_freed] freed regions stay poisoned as Freed for use-after-free
+   detection; older ones return to Unallocated. *)
+let compact ?(keep_freed = 64) (t : t) : unit =
+  t.last_hit <- None;
+  let seen = ref 0 in
+  t.regions <-
+    List.filter
+      (fun r ->
+         if r.live then true
+         else begin
+           incr seen;
+           if !seen > keep_freed then begin
+             Shadow.poison t.shadow ~addr:r.base ~size:(align8 r.size)
+               Shadow.Unallocated;
+             false
+           end
+           else true
+         end)
+      t.regions
+
+(* Region whose [base, base+size) contains [addr] (live or freed). *)
+let region_of (t : t) (addr : int64) : region option =
+  let contains (r : region) =
+    Word.uge addr r.base
+    && Word.ult addr (Int64.add r.base (Int64.of_int r.size))
+  in
+  match t.last_hit with
+  | Some r when contains r -> Some r
+  | Some _ | None ->
+    let found = List.find_opt contains t.regions in
+    (match found with Some _ -> t.last_hit <- found | None -> ());
+    found
+
+type access = Read | Write
+
+type fault_kind =
+  | Null_deref
+  | Oob of Shadow.poison (* shadow violation: redzone / UAF / wild *)
+  | Page_fault           (* raw access outside any region *)
+
+type fault = {
+  faccess : access;
+  faddr : int64;
+  fsize : int;
+  fkind : fault_kind;
+  fregion : string option; (* nearest region description, for reports *)
+}
+
+let fault_to_string (f : fault) : string =
+  let dir = match f.faccess with Read -> "read" | Write -> "write" in
+  let what =
+    match f.fkind with
+    | Null_deref -> "null-ptr-deref"
+    | Oob p -> Printf.sprintf "kasan: %s" (Shadow.poison_to_string p)
+    | Page_fault -> "page-fault"
+  in
+  Printf.sprintf "%s on %s of size %d at 0x%Lx%s" what dir f.fsize f.faddr
+    (match f.fregion with
+     | Some r -> Printf.sprintf " (near %s)" r
+     | None -> "")
+
+let null_page_limit = 4096L
+
+let nearest_region_desc (t : t) (addr : int64) : string option =
+  let near r =
+    let lo = Int64.sub r.base (Int64.of_int redzone) in
+    let hi = Int64.add r.base (Int64.of_int (r.size + redzone)) in
+    Word.uge addr lo && Word.ult addr hi
+  in
+  match List.find_opt near t.regions with
+  | Some r -> Some (kind_to_string r.rkind)
+  | None -> None
+
+(* KASAN-checked access validity. *)
+let check (t : t) (faccess : access) ~(addr : int64) ~(size : int) :
+  (unit, fault) result =
+  if Word.ult addr null_page_limit then
+    Error { faccess; faddr = addr; fsize = size; fkind = Null_deref;
+            fregion = None }
+  else
+    match Shadow.check t.shadow ~addr ~size with
+    | Ok () -> Ok ()
+    | Error v ->
+      Error
+        { faccess; faddr = v.Shadow.bad_addr; fsize = size;
+          fkind = Oob v.Shadow.bad_poison;
+          fregion = nearest_region_desc t addr }
+
+let read_bytes (r : region) ~(off : int) ~(size : int) : int64 =
+  Word.get_le r.data off size
+
+let write_bytes (r : region) ~(off : int) ~(size : int) (v : int64) : unit =
+  Word.set_le r.data off size v
+
+(* Checked (KASAN) load/store used by kernel routines and sanitizers. *)
+let checked_load (t : t) ~(addr : int64) ~(size : int) :
+  (int64, fault) result =
+  match check t Read ~addr ~size with
+  | Error f -> Error f
+  | Ok () -> begin
+      match region_of t addr with
+      | Some r when r.live ->
+        Ok (read_bytes r ~off:(Int64.to_int (Int64.sub addr r.base)) ~size)
+      | Some _ | None ->
+        (* shadow said OK but no live region backs it: treat as wild *)
+        Error { faccess = Read; faddr = addr; fsize = size;
+                fkind = Oob Shadow.Unallocated; fregion = None }
+    end
+
+let checked_store (t : t) ~(addr : int64) ~(size : int) (v : int64) :
+  (unit, fault) result =
+  match check t Write ~addr ~size with
+  | Error f -> Error f
+  | Ok () -> begin
+      match region_of t addr with
+      | Some r when r.live ->
+        write_bytes r ~off:(Int64.to_int (Int64.sub addr r.base)) ~size v;
+        Ok ()
+      | Some _ | None ->
+        Error { faccess = Write; faddr = addr; fsize = size;
+                fkind = Oob Shadow.Unallocated; fregion = None }
+    end
+
+(* Raw (unsanitized) access, as native JITed code would behave:
+   - inside a region (even freed): silent read/corruption, no fault;
+   - in the null page or outside all regions and redzones: page fault. *)
+let raw_load (t : t) ~(addr : int64) ~(size : int) : (int64, fault) result =
+  if Word.ult addr null_page_limit then
+    Error { faccess = Read; faddr = addr; fsize = size; fkind = Null_deref;
+            fregion = None }
+  else
+    match region_of t addr with
+    | Some r ->
+      let off = Int64.to_int (Int64.sub addr r.base) in
+      if off + size <= r.size then Ok (read_bytes r ~off ~size)
+      else Ok 0xAAAA_AAAA_AAAA_AAAAL (* straddles into redzone: garbage *)
+    | None ->
+      if nearest_region_desc t addr <> None then
+        Ok 0xAAAA_AAAA_AAAA_AAAAL (* redzone read: silent garbage *)
+      else
+        Error { faccess = Read; faddr = addr; fsize = size;
+                fkind = Page_fault; fregion = None }
+
+let raw_store (t : t) ~(addr : int64) ~(size : int) (v : int64) :
+  (unit, fault) result =
+  if Word.ult addr null_page_limit then
+    Error { faccess = Write; faddr = addr; fsize = size;
+            fkind = Null_deref; fregion = None }
+  else
+    match region_of t addr with
+    | Some r ->
+      let off = Int64.to_int (Int64.sub addr r.base) in
+      if off + size <= r.size then begin
+        write_bytes r ~off ~size v;
+        Ok ()
+      end
+      else Ok () (* silent corruption of the redzone *)
+    | None ->
+      if nearest_region_desc t addr <> None then Ok ()
+      else
+        Error { faccess = Write; faddr = addr; fsize = size;
+                fkind = Page_fault; fregion = None }

@@ -1,0 +1,83 @@
+(* Kernel bug reports — the raw material the oracle classifies into the
+   paper's two correctness-bug indicators.
+
+   [origin] records which capture mechanism observed the anomaly:
+   - [Sanitizer]: one of the bpf_asan_* functions instrumented into the
+     verified program caught an invalid access or an alu_limit violation
+     (indicator #1);
+   - [Bpf_native]: the program's own (unsanitized) instruction faulted
+     hard, e.g. a page fault in JITed code — also indicator #1, but only
+     observable for the subset of invalid accesses that happen to crash;
+   - [Kernel_routine]: KASAN / lockdep / panic inside a kernel routine
+     the program invoked (indicator #2). *)
+
+type origin =
+  | Sanitizer
+  | Bpf_native
+  | Kernel_routine of string
+
+type kind =
+  | Mem_fault of Kmem.fault
+  | Lock_violation of Lockdep.violation
+  | Panic of string
+  | Warn of string
+  | Alu_limit of { actual : int64; limit : int64; is_sub : bool }
+  | Runaway_execution (* watchdog: program exceeded its fuel *)
+
+type t = {
+  origin : origin;
+  kind : kind;
+  pc : int option; (* program counter of the guilty eBPF insn, if known *)
+}
+
+let make ?pc origin kind = { origin; kind; pc }
+
+let origin_to_string = function
+  | Sanitizer -> "bpf_asan"
+  | Bpf_native -> "native"
+  | Kernel_routine r -> Printf.sprintf "kernel:%s" r
+
+let kind_to_string = function
+  | Mem_fault f -> Kmem.fault_to_string f
+  | Lock_violation v -> Lockdep.violation_to_string v
+  | Panic s -> Printf.sprintf "kernel panic: %s" s
+  | Warn s -> Printf.sprintf "WARNING: %s" s
+  | Alu_limit { actual; limit; is_sub } ->
+    Printf.sprintf "alu_limit violation: %s offset %Ld exceeds limit %Ld"
+      (if is_sub then "sub" else "add")
+      actual limit
+  | Runaway_execution -> "watchdog: runaway program execution"
+
+let to_string (t : t) =
+  Printf.sprintf "[%s]%s %s"
+    (origin_to_string t.origin)
+    (match t.pc with Some pc -> Printf.sprintf " pc=%d" pc | None -> "")
+    (kind_to_string t.kind)
+
+(* Stable fingerprint used for deduplication during fuzzing: collapses
+   addresses but keeps the mechanism, fault class and faulting site. *)
+let fingerprint (t : t) : string =
+  let kind_fp =
+    match t.kind with
+    | Mem_fault f ->
+      let k =
+        match f.Kmem.fkind with
+        | Kmem.Null_deref -> "null"
+        | Kmem.Oob p -> "oob:" ^ Shadow.poison_to_string p
+        | Kmem.Page_fault -> "pf"
+      in
+      let dir = match f.Kmem.faccess with
+        | Kmem.Read -> "r" | Kmem.Write -> "w" in
+      Printf.sprintf "mem:%s:%s:%s" k dir
+        (Option.value f.Kmem.fregion ~default:"?")
+    | Lock_violation (Lockdep.Recursive_lock c) -> "lock:recursive:" ^ c
+    | Lock_violation (Lockdep.Unlock_not_held c) -> "lock:unheld:" ^ c
+    | Lock_violation (Lockdep.Held_at_exit _) -> "lock:held-at-exit"
+    | Lock_violation (Lockdep.Lock_in_nmi c) -> "lock:nmi:" ^ c
+    | Panic s -> "panic:" ^ s
+    | Warn s -> "warn:" ^ s
+    | Alu_limit { is_sub; _ } ->
+      Printf.sprintf "alu_limit:%s" (if is_sub then "sub" else "add")
+    | Runaway_execution -> "runaway"
+  in
+  Printf.sprintf "%s|%s" (origin_to_string t.origin) kind_fp

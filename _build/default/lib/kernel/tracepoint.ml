@@ -1,0 +1,70 @@
+(* Attach points for tracing programs: tracepoints, kprobe targets and
+   perf events, each with the execution context a handler runs in and
+   the internal event that fires it.
+
+   [Fired_by_lock_acquisition] marks contention_begin (Figure 2):
+   whenever the simulated kernel acquires a contended lock, programs
+   attached there run.  [Fired_by_helper h] marks kprobe targets placed
+   on a helper's implementation (the Bug#4 trace_printk path). *)
+
+open Import
+
+type trigger =
+  | Manual                      (* only fired by the test harness *)
+  | Fired_by_lock_acquisition
+  | Fired_by_helper of string   (* helper name *)
+
+type t = {
+  tp_name : string;
+  tp_ctx : Lockdep.context;
+  tp_prog_types : Prog.prog_type list;
+  tp_trigger : trigger;
+  tp_since : Version.t;
+}
+
+let tp ?(ctx = Lockdep.Normal) ?(trigger = Manual)
+    ?(since = Version.V5_15) name prog_types =
+  { tp_name = name; tp_ctx = ctx; tp_prog_types = prog_types;
+    tp_trigger = trigger; tp_since = since }
+
+let tracing = [ Prog.Kprobe; Prog.Tracepoint; Prog.Raw_tracepoint ]
+
+let catalogue =
+  [
+    tp "sys_enter" tracing;
+    tp "sys_exit" tracing;
+    tp "sched_switch" tracing;
+    tp "kmem_kmalloc" tracing;
+    tp "net_dev_xmit" tracing ~ctx:Lockdep.Softirq;
+    tp "timer_expire" tracing ~ctx:Lockdep.Softirq;
+    tp "irq_handler_entry" tracing ~ctx:Lockdep.Hardirq;
+    tp "contention_begin" tracing ~trigger:Fired_by_lock_acquisition
+      ~since:Version.V6_1;
+    tp "kprobe:bpf_trace_printk" [ Prog.Kprobe ]
+      ~trigger:(Fired_by_helper "trace_printk");
+    tp "perf_event_nmi" [ Prog.Perf_event ] ~ctx:Lockdep.Nmi;
+    tp "perf_event_cycles" [ Prog.Perf_event ] ~ctx:Lockdep.Hardirq;
+  ]
+
+let find (name : string) : t option =
+  List.find_opt (fun t -> t.tp_name = name) catalogue
+
+let available ~(version : Version.t) ~(pt : Prog.prog_type) : t list =
+  List.filter
+    (fun t ->
+       Version.at_least version t.tp_since && List.mem pt t.tp_prog_types)
+    catalogue
+
+(* Attach points fired when [helper_name] executes. *)
+let fired_by_helper (helper_name : string) : t list =
+  List.filter
+    (fun t ->
+       match t.tp_trigger with
+       | Fired_by_helper h -> h = helper_name
+       | Manual | Fired_by_lock_acquisition -> false)
+    catalogue
+
+let fired_by_lock_acquisition () : t list =
+  List.filter
+    (fun t -> t.tp_trigger = Fired_by_lock_acquisition)
+    catalogue

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Bvf_kernel Bytes Char Helper Helpers_impl Insn Int64 Kconfig Kmem Kstate List Printf Prog Report Rimport Tracepoint Venv Verifier Word

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Bvf_kernel Bvf_verifier

@@ -1,0 +1,1 @@
+lib/runtime/loader.ml: Array Coverage Dispatcher Exec Kconfig Kstate List Map Prog Report Rimport Tracepoint Venv Verifier

@@ -1,0 +1,1 @@
+lib/runtime/loader.mli: Bvf_kernel Bvf_verifier Exec

@@ -1,0 +1,1 @@
+lib/runtime/rimport.ml: Bvf_ebpf Bvf_kernel Bvf_verifier

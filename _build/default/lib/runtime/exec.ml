@@ -1,0 +1,482 @@
+open Rimport
+
+(* The execution engine: a concrete interpreter standing in for the JIT.
+
+   Memory behaviour follows the two-path model of {!Kmem}: the program's
+   own loads/stores go through the raw (unchecked) path like native
+   code, while the sanitizing bpf_asan calls injected by the rewrite
+   pass consult KASAN shadow memory and report indicator-#1 anomalies.
+   Helper calls may append indicator-#2 reports; execution aborts as
+   soon as any new report lands.
+
+   Attach points are honoured: executing a program runs any programs
+   attached to events its helpers fire (tracepoints, the contention
+   path), which is how the paper's deadlock bugs manifest. *)
+
+type status =
+  | Finished of int64 (* R0 *)
+  | Aborted           (* a bug report was raised *)
+  | Error of string   (* execution environment problem, not a bug *)
+
+type result = {
+  status : status;
+  insns_executed : int;
+  reports : Report.t list; (* new reports produced by this run *)
+}
+
+let fuel_limit = 65_536
+
+(* Deterministic packet contents. *)
+let packet_size = 96
+
+let fill_packet (r : Kmem.region) : unit =
+  for i = 0 to r.Kmem.size - 1 do
+    Bytes.set r.Kmem.data i (Char.chr ((i * 7 + 13) land 0xff))
+  done
+
+(* Context scalar field values visible to the program. *)
+let fill_ctx (layout : Prog.ctx_layout) (r : Kmem.region) : unit =
+  List.iter
+    (fun f ->
+       match f.Prog.fkind with
+       | Prog.Fk_scalar ->
+         Word.set_le r.Kmem.data f.Prog.foff f.Prog.fsize
+           (Int64.of_int ((f.Prog.foff * 31 + 5) land 0xffff))
+       | Prog.Fk_pkt_data | Prog.Fk_pkt_end -> ())
+    layout.Prog.fields
+
+type env = {
+  kst : Kstate.t;
+  prog : Verifier.loaded;
+  regs : int64 array; (* R0..R11 *)
+  mutable pc : int;
+  mutable fuel : int;
+  mutable call_stack : (int * int64 array * Kmem.region) list;
+      (* return pc, saved R6..R10, stack region to free *)
+  ctx_region : Kmem.region;
+  pkt_region : Kmem.region option;
+  henv : Helpers_impl.env;
+  baseline_reports : int;
+  (* nested program execution on events *)
+  run_attached : string -> unit;
+}
+
+let new_reports (e : env) : Report.t list =
+  let all = Kstate.peek_reports e.kst in
+  let fresh = List.length all - e.baseline_reports in
+  if fresh <= 0 then []
+  else
+    (* peek returns oldest-first *)
+    List.filteri (fun i _ -> i >= e.baseline_reports) all
+
+let has_new_report (e : env) : bool =
+  List.length (Kstate.peek_reports e.kst) > e.baseline_reports
+
+let reg (e : env) (r : Insn.reg) : int64 = e.regs.(Insn.reg_to_int r)
+let set (e : env) (r : Insn.reg) (v : int64) : unit =
+  e.regs.(Insn.reg_to_int r) <- v
+
+let src_value (e : env) (s : Insn.src) : int64 =
+  match s with
+  | Insn.Imm i -> Int64.of_int32 i
+  | Insn.Reg r -> reg e r
+
+let alu64 (op : Insn.alu_op) (d : int64) (s : int64) : int64 =
+  match op with
+  | Insn.Add -> Int64.add d s
+  | Insn.Sub -> Int64.sub d s
+  | Insn.Mul -> Int64.mul d s
+  | Insn.Div -> Word.udiv d s
+  | Insn.Mod -> Word.umod d s
+  | Insn.Or -> Int64.logor d s
+  | Insn.And -> Int64.logand d s
+  | Insn.Xor -> Int64.logxor d s
+  | Insn.Lsh -> Word.shl64 d s
+  | Insn.Rsh -> Word.shr64 d s
+  | Insn.Arsh -> Word.ashr64 d s
+  | Insn.Neg -> Int64.neg d
+  | Insn.Mov -> s
+
+let alu32 (op : Insn.alu_op) (d : int64) (s : int64) : int64 =
+  let d32 = Word.to_u32 d and s32 = Word.to_u32 s in
+  match op with
+  | Insn.Add -> Word.to_u32 (Int64.add d32 s32)
+  | Insn.Sub -> Word.to_u32 (Int64.sub d32 s32)
+  | Insn.Mul -> Word.to_u32 (Int64.mul d32 s32)
+  | Insn.Div -> Word.to_u32 (Word.udiv d32 s32)
+  | Insn.Mod -> Word.to_u32 (Word.umod d32 s32)
+  | Insn.Or -> Word.to_u32 (Int64.logor d32 s32)
+  | Insn.And -> Word.to_u32 (Int64.logand d32 s32)
+  | Insn.Xor -> Word.to_u32 (Int64.logxor d32 s32)
+  | Insn.Lsh -> Word.shl32 d32 s32
+  | Insn.Rsh -> Word.shr32 d32 s32
+  | Insn.Arsh -> Word.ashr32 d32 s32
+  | Insn.Neg -> Word.to_u32 (Int64.neg d32)
+  | Insn.Mov -> s32
+
+let eval_cond (op32 : bool) (cond : Insn.cond) (d : int64) (s : int64) :
+  bool =
+  let d, s =
+    if op32 then (Word.to_u32 d, Word.to_u32 s) else (d, s)
+  in
+  let ds, ss = if op32 then (Word.sext32 d, Word.sext32 s) else (d, s) in
+  match cond with
+  | Insn.Jeq -> d = s
+  | Insn.Jne -> d <> s
+  | Insn.Jgt -> Word.ugt d s
+  | Insn.Jge -> Word.uge d s
+  | Insn.Jlt -> Word.ult d s
+  | Insn.Jle -> Word.ule d s
+  | Insn.Jsgt -> ds > ss
+  | Insn.Jsge -> ds >= ss
+  | Insn.Jslt -> ds < ss
+  | Insn.Jsle -> ds <= ss
+  | Insn.Jset -> Int64.logand d s <> 0L
+
+(* The sanitizing functions: KASAN checks driven from eBPF level.
+   All registers except R0's return value are preserved (the paper's
+   extended-stack backup); since these are R_void, everything holds. *)
+let exec_asan (e : env) ~(pc : int) (h : Helper.t) : unit =
+  let addr = reg e Insn.R1 in
+  let code = h.Helper.id - Helper.asan_base in
+  if code = 0x20 then
+    (* bpf_asan_check_alu is only reached when the inline comparison
+       against the limit already failed *)
+    Kstate.report e.kst
+      (Report.make ~pc Report.Sanitizer
+         (Report.Alu_limit { actual = addr; limit = -1L; is_sub = false }))
+  else if code >= 0x30 then begin
+    (* probe variant: faulting (NULL/unmapped) addresses are handled by
+       the exception table; only KASAN poisoning is a bug *)
+    let size = code land 0x0f in
+    match Kmem.check e.kst.Kstate.mem Kmem.Read ~addr ~size with
+    | Ok () -> ()
+    | Error ({ Kmem.fkind = Kmem.Oob (Bvf_kernel.Shadow.Redzone
+                                     | Bvf_kernel.Shadow.Freed); _ } as
+             fault) ->
+      Kstate.report e.kst
+        (Report.make ~pc Report.Sanitizer (Report.Mem_fault fault))
+    | Error _ -> ()
+  end
+  else begin
+    let load = code < 0x10 in
+    let size = code land 0x0f in
+    let access = if load then Kmem.Read else Kmem.Write in
+    match Kmem.check e.kst.Kstate.mem access ~addr ~size with
+    | Ok () -> ()
+    | Error fault ->
+      Kstate.report e.kst
+        (Report.make ~pc Report.Sanitizer (Report.Mem_fault fault))
+  end
+
+(* Context pkt_data/pkt_end fields: the ctx rewrite loads real pointers. *)
+let ctx_field_at (e : env) (addr : int64) (size : int) :
+  Prog.field option =
+  let base = e.ctx_region.Kmem.base in
+  let off = Int64.to_int (Int64.sub addr base) in
+  if Word.uge addr base
+     && off < e.ctx_region.Kmem.size then
+    Prog.field_at (Prog.ctx_layout e.prog.Verifier.l_prog_type) ~off ~size
+  else None
+
+let exec_load (e : env) ~(pc : int) ~(sz : Insn.size) ~(dst : Insn.reg)
+    ~(src : Insn.reg) ~(off : int) : bool =
+  let addr = Int64.add (reg e src) (Int64.of_int off) in
+  let size = Insn.size_bytes sz in
+  let aux = e.prog.Verifier.l_aux.(pc) in
+  (* ctx packet-pointer fields materialize real pointers *)
+  match ctx_field_at e addr size with
+  | Some { Prog.fkind = Prog.Fk_pkt_data; _ } ->
+    set e dst
+      (match e.pkt_region with Some p -> p.Kmem.base | None -> 0L);
+    true
+  | Some { Prog.fkind = Prog.Fk_pkt_end; _ } ->
+    set e dst
+      (match e.pkt_region with
+       | Some p -> Int64.add p.Kmem.base (Int64.of_int p.Kmem.size)
+       | None -> 0L);
+    true
+  | _ -> begin
+      match Kmem.raw_load e.kst.Kstate.mem ~addr ~size with
+      | Ok v ->
+        set e dst v;
+        true
+      | Error fault ->
+        if aux.Venv.exception_handled then begin
+          (* BTF probe-read semantics: fault yields zero, no report *)
+          set e dst 0L;
+          true
+        end
+        else begin
+          Kstate.report e.kst
+            (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
+          false
+        end
+    end
+
+let exec_store (e : env) ~(pc : int) ~(sz : Insn.size) ~(addr_reg : Insn.reg)
+    ~(off : int) (v : int64) : bool =
+  let addr = Int64.add (reg e addr_reg) (Int64.of_int off) in
+  let size = Insn.size_bytes sz in
+  match Kmem.raw_store e.kst.Kstate.mem ~addr ~size v with
+  | Ok () -> true
+  | Error fault ->
+    Kstate.report e.kst
+      (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
+    false
+
+let exec_atomic (e : env) ~(pc : int) (a : Insn.t) : bool =
+  match a with
+  | Insn.Atomic { sz; op; fetch; dst; src; off } ->
+    let addr = Int64.add (reg e dst) (Int64.of_int off) in
+    let size = Insn.size_bytes sz in
+    let mem = e.kst.Kstate.mem in
+    (match Kmem.raw_load mem ~addr ~size with
+     | Error fault ->
+       Kstate.report e.kst
+         (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
+       false
+     | Ok old ->
+       let operand = reg e src in
+       let updated =
+         match op with
+         | Insn.A_add -> Int64.add old operand
+         | Insn.A_or -> Int64.logor old operand
+         | Insn.A_and -> Int64.logand old operand
+         | Insn.A_xor -> Int64.logxor old operand
+         | Insn.A_xchg -> operand
+         | Insn.A_cmpxchg ->
+           if old = reg e Insn.R0 then operand else old
+       in
+       let updated =
+         if sz = Insn.W then Word.to_u32 updated else updated
+       in
+       (match Kmem.raw_store mem ~addr ~size updated with
+        | Error fault ->
+          Kstate.report e.kst
+            (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
+          false
+        | Ok () ->
+          if op = Insn.A_cmpxchg then set e Insn.R0 old
+          else if fetch then set e src old;
+          true))
+  | _ -> invalid_arg "exec_atomic"
+
+let exec_call (e : env) ~(pc : int) (target : Insn.call_target) :
+  [ `Continue | `Stop | `Enter of int ] =
+  match target with
+  | Insn.Helper id -> begin
+      match Helper.find id with
+      | None ->
+        Kstate.report e.kst
+          (Report.make ~pc (Report.Kernel_routine "bpf_call")
+             (Report.Warn (Printf.sprintf "call to unknown helper %d" id)));
+        `Stop
+      | Some h when h.Helper.internal ->
+        exec_asan e ~pc h;
+        if has_new_report e then `Stop else `Continue
+      | Some h ->
+        (* helpers fire their kprobe attach points *)
+        List.iter
+          (fun tp -> e.run_attached tp.Tracepoint.tp_name)
+          (Tracepoint.fired_by_helper h.Helper.name);
+        if has_new_report e then `Stop
+        else begin
+          let args = Array.init 5 (fun i -> e.regs.(i + 1)) in
+          let r0 = Helpers_impl.call e.kst e.henv ~pc h args in
+          set e Insn.R0 r0;
+          (* caller-saved clobber: deterministic poison *)
+          for i = 1 to 5 do
+            e.regs.(i) <- 0xDEAD_BEEF_0000_0000L
+          done;
+          if has_new_report e then `Stop else `Continue
+        end
+    end
+  | Insn.Kfunc id -> begin
+      match Helper.find_kfunc id with
+      | None ->
+        Kstate.report e.kst
+          (Report.make ~pc (Report.Kernel_routine "bpf_kfunc")
+             (Report.Warn (Printf.sprintf "unknown kfunc %d" id)));
+        `Stop
+      | Some kf ->
+        let args = Array.init 5 (fun i -> e.regs.(i + 1)) in
+        set e Insn.R0 (Helpers_impl.call_kfunc e.kst ~pc kf args);
+        for i = 1 to 5 do
+          e.regs.(i) <- 0xDEAD_BEEF_0000_0000L
+        done;
+        if has_new_report e then `Stop else `Continue
+    end
+  | Insn.Local off ->
+    (* save callee-saved registers and the frame pointer, switch to a
+       fresh stack *)
+    let saved = Array.init 5 (fun i -> e.regs.(i + 6)) in
+    let stack =
+      Kmem.alloc e.kst.Kstate.mem
+        ~kind:(Kmem.Stack (List.length e.call_stack + 1))
+        ~size:Prog.stack_size
+    in
+    e.call_stack <- (pc + 1, saved, stack) :: e.call_stack;
+    e.regs.(10) <- Int64.add stack.Kmem.base (Int64.of_int Prog.stack_size);
+    `Enter (pc + 1 + off)
+
+(* Run the program to completion. *)
+let run_loop (e : env) : status =
+  let insns = e.prog.Verifier.l_insns in
+  let rec step () : status =
+    if e.fuel <= 0 then begin
+      Kstate.report e.kst
+        (Report.make ~pc:e.pc Report.Bpf_native Report.Runaway_execution);
+      Aborted
+    end
+    else if e.pc < 0 || e.pc >= Array.length insns then
+      Error (Printf.sprintf "pc %d out of range" e.pc)
+    else begin
+      e.fuel <- e.fuel - 1;
+      let pc = e.pc in
+      match insns.(pc) with
+      | Insn.Alu { op64; op = Insn.Neg; dst; _ } ->
+        set e dst
+          (if op64 then Int64.neg (reg e dst)
+           else Word.to_u32 (Int64.neg (Word.to_u32 (reg e dst))));
+        advance ()
+      | Insn.Alu { op64; op; dst; src } ->
+        let s = src_value e src in
+        set e dst
+          (if op64 then alu64 op (reg e dst) s else alu32 op (reg e dst) s);
+        advance ()
+      | Insn.Endian { swap; bits; dst } ->
+        let v = reg e dst in
+        set e dst
+          (if not swap then Word.zext bits v
+           else
+             match bits with
+             | 16 -> Word.bswap16 v
+             | 32 -> Word.bswap32 v
+             | _ -> Word.bswap64 v);
+        advance ()
+      | Insn.Ld_imm64 (dst, Insn.Const v) ->
+        set e dst v;
+        advance ()
+      | Insn.Ld_imm64 (_, _) ->
+        Error "unresolved ld_imm64 pseudo (program not fixed up)"
+      | Insn.Ldx { sz; dst; src; off } ->
+        if exec_load e ~pc ~sz ~dst ~src ~off then advance () else Aborted
+      | Insn.St { sz; dst; off; imm } ->
+        if exec_store e ~pc ~sz ~addr_reg:dst ~off (Int64.of_int32 imm)
+        then advance ()
+        else Aborted
+      | Insn.Stx { sz; dst; src; off } ->
+        if exec_store e ~pc ~sz ~addr_reg:dst ~off (reg e src) then
+          advance ()
+        else Aborted
+      | Insn.Atomic _ as a ->
+        if exec_atomic e ~pc a then advance () else Aborted
+      | Insn.Ja off ->
+        e.pc <- pc + 1 + off;
+        step ()
+      | Insn.Jmp { op32; cond; dst; src; off } ->
+        e.pc <-
+          (if eval_cond op32 cond (reg e dst) (src_value e src) then
+             pc + 1 + off
+           else pc + 1);
+        step ()
+      | Insn.Call target -> begin
+          match exec_call e ~pc target with
+          | `Continue -> advance ()
+          | `Stop -> Aborted
+          | `Enter target_pc ->
+            e.pc <- target_pc;
+            step ()
+        end
+      | Insn.Exit -> begin
+          match e.call_stack with
+          | [] -> Finished (reg e Insn.R0)
+          | (ret_pc, saved, stack) :: rest ->
+            e.call_stack <- rest;
+            Array.iteri (fun i v -> e.regs.(i + 6) <- v) saved;
+            Kmem.free e.kst.Kstate.mem stack;
+            e.pc <- ret_pc;
+            step ()
+        end
+    end
+  and advance () =
+    e.pc <- e.pc + 1;
+    step ()
+  in
+  step ()
+
+(* Execute [prog] once against [kst].  [run_attached name] is invoked
+   for every event fired during execution (installed by the loader to
+   run attached programs; depth-limited there). *)
+let run (kst : Kstate.t) ~(run_attached : string -> unit)
+    (prog : Verifier.loaded) : result =
+  (* Bug#11: device-offloaded programs must never run on the host *)
+  if prog.Verifier.l_offload then begin
+    if Kstate.has_bug kst Kconfig.Bug11_xdp_host_exec then begin
+      Kstate.report kst
+        (Report.make (Report.Kernel_routine "bpf_prog_run_xdp")
+           (Report.Warn "device-bound program executed on the host"));
+      { status = Aborted; insns_executed = 0;
+        reports =
+          (match Kstate.peek_reports kst with
+           | [] -> []
+           | l -> [ List.nth l (List.length l - 1) ]) }
+    end
+    else
+      { status = Error "offloaded program cannot run on host";
+        insns_executed = 0; reports = [] }
+  end
+  else begin
+    let baseline = List.length (Kstate.peek_reports kst) in
+    let mem = kst.Kstate.mem in
+    let layout = Prog.ctx_layout prog.Verifier.l_prog_type in
+    let stack =
+      Kstate.pool_take kst ~kind:(Kmem.Stack 0) ~size:Prog.stack_size
+    in
+    let ctx_region =
+      Kstate.pool_take kst ~kind:Kmem.Ctx ~size:layout.Prog.ctx_size
+    in
+    let pkt_region =
+      if Prog.has_packet_access prog.Verifier.l_prog_type then begin
+        let p = Kstate.pool_take kst ~kind:Kmem.Packet ~size:packet_size in
+        fill_packet p;
+        Some p
+      end
+      else None
+    in
+    fill_ctx layout ctx_region;
+    let regs = Array.make 12 0L in
+    regs.(1) <- ctx_region.Kmem.base;
+    regs.(10) <- Int64.add stack.Kmem.base (Int64.of_int Prog.stack_size);
+    let e =
+      {
+        kst;
+        prog;
+        regs;
+        pc = 0;
+        fuel = fuel_limit;
+        call_stack = [];
+        ctx_region;
+        pkt_region;
+        henv = { Helpers_impl.pkt = pkt_region };
+        baseline_reports = baseline;
+        run_attached;
+      }
+    in
+    kst.Kstate.prog_depth <- kst.Kstate.prog_depth + 1;
+    let status = run_loop e in
+    kst.Kstate.prog_depth <- kst.Kstate.prog_depth - 1;
+    (* free leftover bpf2bpf stacks; return the scratch regions *)
+    List.iter (fun (_, _, s) -> Kmem.free mem s) e.call_stack;
+    Kstate.pool_return kst stack;
+    Kstate.pool_return kst ctx_region;
+    (match pkt_region with
+     | Some p -> Kstate.pool_return kst p
+     | None -> ());
+    if kst.Kstate.prog_depth = 0 then Kstate.end_of_execution kst;
+    let reports = new_reports e in
+    let status = if reports <> [] && status <> Aborted then Aborted
+      else status in
+    { status; insns_executed = fuel_limit - e.fuel; reports }
+  end

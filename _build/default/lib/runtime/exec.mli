@@ -1,0 +1,30 @@
+(** The execution engine: a concrete interpreter standing in for the JIT.
+
+    The program's own loads/stores use the raw (unchecked) memory path
+    like native code; the [bpf_asan_*] calls injected by the sanitation
+    rewrite consult KASAN shadow memory and raise indicator-#1 reports;
+    helper calls may raise indicator-#2 reports.  Execution aborts as
+    soon as a new report lands. *)
+
+type status =
+  | Finished of int64 (** normal exit, R0 *)
+  | Aborted           (** a bug report was raised *)
+  | Error of string   (** environment problem, not a bug *)
+
+type result = {
+  status : status;
+  insns_executed : int;
+  reports : Bvf_kernel.Report.t list; (** new reports from this run *)
+}
+
+val fuel_limit : int
+(** Watchdog: instruction budget per execution. *)
+
+val packet_size : int
+
+val run :
+  Bvf_kernel.Kstate.t -> run_attached:(string -> unit) ->
+  Bvf_verifier.Verifier.loaded -> result
+(** Execute a loaded program once.  [run_attached name] is invoked for
+    every attach-point event fired during execution (the loader installs
+    the dispatch to attached programs, depth-limited). *)

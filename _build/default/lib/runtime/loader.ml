@@ -1,0 +1,133 @@
+open Rimport
+
+(* Session: one simulated kernel instance plus the programs loaded and
+   attached into it — the equivalent of a fuzzer's long-lived test VM.
+   The full bpf() load path runs here: map setup, verification, rewrite,
+   sanitation, attachment (tracepoints, XDP dispatcher) and execution
+   with event dispatch to attached programs. *)
+
+type t = {
+  kst : Kstate.t;
+  cov : Coverage.t;
+  mutable attached : (string * Verifier.loaded) list;
+  mutable event_depth : int;
+}
+
+let max_event_depth = 3
+
+let rec create ?(cov = Coverage.create ()) (config : Kconfig.t) : t =
+  let kst = Kstate.create config in
+  let t = { kst; cov; attached = []; event_depth = 0 } in
+  (* install the event bridge: kernel-fired events run attached progs *)
+  kst.Kstate.on_event <- (fun name -> fire_event t name);
+  t
+
+(* Run every program attached to event [name]; reentrant because nested
+   executions fire further events (the Figure 2 recursion). *)
+and fire_event (t : t) (name : string) : unit =
+  if t.event_depth < max_event_depth then begin
+    t.event_depth <- t.event_depth + 1;
+    let prev_ctx = t.kst.Kstate.lock_ctx in
+    List.iter
+      (fun (attach_name, prog) ->
+         if attach_name = name then begin
+           (match Tracepoint.find name with
+            | Some tp -> t.kst.Kstate.lock_ctx <- tp.Tracepoint.tp_ctx
+            | None -> ());
+           let _ =
+             Exec.run t.kst ~run_attached:(fun n -> fire_event t n) prog
+           in
+           ()
+         end)
+      t.attached;
+    t.kst.Kstate.lock_ctx <- prev_ctx;
+    t.event_depth <- t.event_depth - 1
+  end
+
+let create_map (t : t) (def : Map.def) : int = Kstate.map_create t.kst def
+
+(* Result of one load(+run) cycle. *)
+type run_result = {
+  verdict : (Verifier.loaded, Venv.verr) result;
+  status : Exec.status option;    (* None if never executed *)
+  reports : Report.t list;        (* all new kernel reports *)
+  insns_executed : int;
+}
+
+let attach (t : t) (prog : Verifier.loaded) : unit =
+  match prog.Verifier.l_attach with
+  | Some tp ->
+    t.attached <- (tp.Tracepoint.tp_name, prog) :: t.attached
+  | None ->
+    if prog.Verifier.l_prog_type = Prog.Xdp then begin
+      let ok =
+        Dispatcher.attach
+          ~bug7:(Kstate.has_bug t.kst Kconfig.Bug7_dispatcher_race)
+          t.kst.Kstate.dispatcher ~prog_id:prog.Verifier.l_id
+      in
+      ignore ok
+    end
+
+let detach_all (t : t) : unit =
+  t.attached <- [];
+  List.iter
+    (fun id -> Dispatcher.detach t.kst.Kstate.dispatcher ~prog_id:id)
+    (Array.to_list t.kst.Kstate.dispatcher.Dispatcher.slots
+     |> List.filter_map (fun x -> x))
+
+(* Execute a loaded program: XDP programs go through the dispatcher
+   (the Bug#7 window), tracing programs are triggered via their attach
+   point, everything else runs directly. *)
+let execute (t : t) (prog : Verifier.loaded) : Exec.result =
+  let baseline = List.length (Kstate.peek_reports t.kst) in
+  if prog.Verifier.l_prog_type = Prog.Xdp
+     && not prog.Verifier.l_offload then begin
+    match Dispatcher.dispatch t.kst.Kstate.dispatcher with
+    | Error report ->
+      Kstate.report t.kst report;
+      { Exec.status = Exec.Aborted; insns_executed = 0;
+        reports = [ report ] }
+    | Ok _slot ->
+      Exec.run t.kst ~run_attached:(fun n -> fire_event t n) prog
+  end
+  else begin
+    let result =
+      Exec.run t.kst ~run_attached:(fun n -> fire_event t n) prog
+    in
+    (* the direct run above plus one triggering of the attach point *)
+    (match prog.Verifier.l_attach with
+     | Some tp when result.Exec.status <> Exec.Aborted ->
+       (match Tracepoint.find tp.Tracepoint.tp_name with
+        | Some tpd ->
+          let prev = t.kst.Kstate.lock_ctx in
+          t.kst.Kstate.lock_ctx <- tpd.Tracepoint.tp_ctx;
+          let _ =
+            Exec.run t.kst ~run_attached:(fun n -> fire_event t n) prog
+          in
+          t.kst.Kstate.lock_ctx <- prev
+        | None -> ())
+     | _ -> ());
+    let all = Kstate.peek_reports t.kst in
+    let fresh = List.filteri (fun i _ -> i >= baseline) all in
+    let status =
+      if fresh <> [] then Exec.Aborted else result.Exec.status
+    in
+    { result with Exec.status; reports = fresh }
+  end
+
+(* The complete cycle the fuzzer performs for each generated input. *)
+let load_and_run (t : t) (req : Verifier.request) : run_result =
+  let baseline = List.length (Kstate.peek_reports t.kst) in
+  match Verifier.load t.kst ~cov:t.cov req with
+  | Error e ->
+    let all = Kstate.peek_reports t.kst in
+    { verdict = Error e; status = None;
+      reports = List.filteri (fun i _ -> i >= baseline) all;
+      insns_executed = 0 }
+  | Ok prog ->
+    attach t prog;
+    let result = execute t prog in
+    let all = Kstate.peek_reports t.kst in
+    { verdict = Ok prog; status = Some result.Exec.status;
+      reports = List.filteri (fun i _ -> i >= baseline) all;
+      insns_executed = result.Exec.insns_executed }

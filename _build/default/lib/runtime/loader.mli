@@ -1,0 +1,42 @@
+(** Session: one simulated kernel instance plus the programs loaded and
+    attached into it — the equivalent of a fuzzer's long-lived test VM.
+    The full bpf() load path runs here: map setup, verification,
+    rewrite, sanitation, attachment (tracepoints / XDP dispatcher) and
+    execution with event dispatch to attached programs. *)
+
+type t = {
+  kst : Bvf_kernel.Kstate.t;
+  cov : Bvf_verifier.Coverage.t;
+  mutable attached : (string * Bvf_verifier.Verifier.loaded) list;
+  mutable event_depth : int;
+}
+
+val max_event_depth : int
+(** Nesting bound for event-triggered program execution. *)
+
+val create : ?cov:Bvf_verifier.Coverage.t -> Bvf_kernel.Kconfig.t -> t
+
+val create_map : t -> Bvf_kernel.Map.def -> int
+(** Create a map in the session's kernel; returns the fd. *)
+
+(** Result of one load(+run) cycle. *)
+type run_result = {
+  verdict : (Bvf_verifier.Verifier.loaded, Bvf_verifier.Venv.verr) result;
+  status : Exec.status option; (** [None] if never executed *)
+  reports : Bvf_kernel.Report.t list; (** all new kernel reports *)
+  insns_executed : int;
+}
+
+val attach : t -> Bvf_verifier.Verifier.loaded -> unit
+(** Register a program at its attach point (or the XDP dispatcher,
+    arming the Bug#7 window). *)
+
+val detach_all : t -> unit
+
+val execute : t -> Bvf_verifier.Verifier.loaded -> Exec.result
+(** Run a loaded program: XDP goes through the dispatcher; tracing
+    programs also get one triggering of their attach point in its
+    execution context. *)
+
+val load_and_run : t -> Bvf_verifier.Verifier.request -> run_result
+(** The complete cycle the fuzzer performs for each generated input. *)

@@ -1,0 +1,21 @@
+(* Short aliases for the substrate modules used by the runtime. *)
+
+module Word = Bvf_ebpf.Word
+module Version = Bvf_ebpf.Version
+module Insn = Bvf_ebpf.Insn
+module Asm = Bvf_ebpf.Asm
+module Prog = Bvf_ebpf.Prog
+module Helper = Bvf_ebpf.Helper
+module Kmem = Bvf_kernel.Kmem
+module Kconfig = Bvf_kernel.Kconfig
+module Kstate = Bvf_kernel.Kstate
+module Map = Bvf_kernel.Map
+module Report = Bvf_kernel.Report
+module Lockdep = Bvf_kernel.Lockdep
+module Tracepoint = Bvf_kernel.Tracepoint
+module Dispatcher = Bvf_kernel.Dispatcher
+module Helpers_impl = Bvf_kernel.Helpers_impl
+module Verifier = Bvf_verifier.Verifier
+module Venv = Bvf_verifier.Venv
+module Coverage = Bvf_verifier.Coverage
+module Regstate = Bvf_verifier.Regstate

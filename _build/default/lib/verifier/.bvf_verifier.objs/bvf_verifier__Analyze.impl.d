@@ -1,0 +1,1 @@
+lib/verifier/analyze.ml: Array Btf Check_alu Check_call Check_jmp Check_mem Hashtbl Insn Int64 Kconfig Kstate List Map Option Prog Regstate Venv Vimport Vstate

@@ -1,0 +1,1 @@
+lib/verifier/check_alu.ml: Array Btf Char Insn Int64 Kconfig Prog Regstate String Tnum Venv Vimport Word

@@ -1,0 +1,1 @@
+lib/verifier/check_call.ml: Array Btf Check_mem Helper Insn Int64 Kconfig List Lockdep Prog Regstate Tnum Tracepoint Venv Version Vimport Vstate Word

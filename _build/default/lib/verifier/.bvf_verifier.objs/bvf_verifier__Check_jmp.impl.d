@@ -1,0 +1,1 @@
+lib/verifier/check_jmp.ml: Insn Int64 Kconfig List Regstate Tnum Venv Version Vimport Vstate Word

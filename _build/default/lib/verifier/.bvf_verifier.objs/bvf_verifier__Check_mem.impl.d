@@ -1,0 +1,1 @@
+lib/verifier/check_mem.ml: Array Btf Insn Int64 Kconfig List Option Prog Regstate Tnum Venv Version Vimport Vstate

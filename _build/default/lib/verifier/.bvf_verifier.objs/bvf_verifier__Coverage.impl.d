@@ -1,0 +1,1 @@
+lib/verifier/coverage.ml: Hashtbl Option

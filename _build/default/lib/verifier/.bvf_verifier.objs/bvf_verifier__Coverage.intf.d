@@ -1,0 +1,1 @@
+lib/verifier/coverage.mli: Hashtbl

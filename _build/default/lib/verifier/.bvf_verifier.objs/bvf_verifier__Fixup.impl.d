@@ -1,0 +1,1 @@
+lib/verifier/fixup.ml: Asm Bytes Insn Int64 Kstate Map Patch Printf Venv Vimport

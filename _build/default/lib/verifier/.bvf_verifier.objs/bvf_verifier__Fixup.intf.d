@@ -1,0 +1,1 @@
+lib/verifier/fixup.mli: Bvf_ebpf Bvf_kernel Venv

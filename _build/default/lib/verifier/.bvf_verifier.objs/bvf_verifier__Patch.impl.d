@@ -1,0 +1,1 @@
+lib/verifier/patch.ml: Array Insn List Venv Vimport

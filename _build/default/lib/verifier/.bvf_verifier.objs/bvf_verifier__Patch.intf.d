@@ -1,0 +1,1 @@
+lib/verifier/patch.mli: Bvf_ebpf Venv

@@ -1,0 +1,1 @@
+lib/verifier/regstate.ml: Btf Int64 Map Printf Tnum Vimport Word

@@ -1,0 +1,1 @@
+lib/verifier/sanitize.ml: Asm Helper Insn Int32 Int64 Patch Venv Vimport

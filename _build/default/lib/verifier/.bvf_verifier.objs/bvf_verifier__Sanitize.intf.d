@@ -1,0 +1,1 @@
+lib/verifier/sanitize.mli: Bvf_ebpf Venv

@@ -1,0 +1,1 @@
+lib/verifier/tnum.ml: Int64 Printf Vimport Word

@@ -1,0 +1,1 @@
+lib/verifier/venv.ml: Array Buffer Coverage Format Hashtbl Helper Insn Kconfig Kstate Prog Regstate Tracepoint Version Vimport Vstate

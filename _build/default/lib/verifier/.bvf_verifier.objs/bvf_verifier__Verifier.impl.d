@@ -1,0 +1,1 @@
+lib/verifier/verifier.ml: Analyze Array Buffer Bvf_kernel Coverage Fixup Helper Insn Kconfig Kstate List Printf Prog Sanitize Tracepoint Venv Version Vimport

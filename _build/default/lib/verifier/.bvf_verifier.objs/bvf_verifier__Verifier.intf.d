@@ -1,0 +1,1 @@
+lib/verifier/verifier.mli: Bvf_ebpf Bvf_kernel Coverage Venv

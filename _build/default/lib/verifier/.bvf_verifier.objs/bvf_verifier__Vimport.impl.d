@@ -1,0 +1,1 @@
+lib/verifier/vimport.ml: Bvf_ebpf Bvf_kernel

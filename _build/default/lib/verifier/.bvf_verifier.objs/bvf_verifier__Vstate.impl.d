@@ -1,0 +1,1 @@
+lib/verifier/vstate.ml: Array Hashtbl Insn List Prog Regstate Vimport

@@ -1,0 +1,345 @@
+open Vimport
+
+(* The main analysis loop (kernel do_check): simulate every instruction
+   along every path, maintaining the abstract state, pushing the other
+   arm of each conditional onto the branch stack, and pruning paths
+   whose state is subsumed by an already-verified one. *)
+
+(* -- Static CFG validation (kernel check_cfg) -------------------------- *)
+
+let jump_targets (insns : Insn.t array) : (int, unit) Hashtbl.t =
+  let targets = Hashtbl.create 16 in
+  Array.iteri
+    (fun pc insn ->
+       match insn with
+       | Insn.Jmp { off; _ } | Insn.Ja off | Insn.Call (Insn.Local off) ->
+         Hashtbl.replace targets (pc + 1 + off) ()
+       | _ -> ())
+    insns;
+  targets
+
+let check_cfg (env : Venv.t) : unit =
+  let insns = env.Venv.insns in
+  let n = Array.length insns in
+  if n = 0 then Venv.reject env ~pc:0 Venv.EINVAL "empty program";
+  let in_range pc target what =
+    if target < 0 || target >= n then
+      Venv.reject env ~pc Venv.EINVAL "%s out of range (to %d)" what target
+  in
+  (* edge validity + reachability DFS *)
+  let visited = Array.make n false in
+  let rec dfs pc =
+    if pc < 0 || pc >= n then ()
+    else if visited.(pc) then ()
+    else begin
+      visited.(pc) <- true;
+      match insns.(pc) with
+      | Insn.Exit -> ()
+      | Insn.Ja off ->
+        in_range pc (pc + 1 + off) "jump";
+        dfs (pc + 1 + off)
+      | Insn.Jmp { off; _ } ->
+        in_range pc (pc + 1 + off) "jump";
+        if pc + 1 >= n then
+          Venv.reject env ~pc Venv.EINVAL "fall-through off program end";
+        dfs (pc + 1 + off);
+        dfs (pc + 1)
+      | Insn.Call (Insn.Local off) ->
+        in_range pc (pc + 1 + off) "call";
+        if pc + 1 >= n then
+          Venv.reject env ~pc Venv.EINVAL "fall-through off program end";
+        dfs (pc + 1 + off);
+        dfs (pc + 1)
+      | Insn.Alu _ | Insn.Endian _ | Insn.Ld_imm64 _ | Insn.Ldx _
+      | Insn.St _ | Insn.Stx _ | Insn.Atomic _
+      | Insn.Call (Insn.Helper _) | Insn.Call (Insn.Kfunc _) ->
+        if pc + 1 >= n then
+          Venv.reject env ~pc Venv.EINVAL "fall-through off program end";
+        dfs (pc + 1)
+    end
+  in
+  dfs 0;
+  Array.iteri
+    (fun pc seen ->
+       if not seen then
+         Venv.reject env ~pc Venv.EINVAL "unreachable insn %d" pc)
+    visited;
+  Venv.cov env "cfg:ok"
+
+(* -- Instruction dispatch ----------------------------------------------- *)
+
+let check_ld_imm64 (env : Venv.t) ~(pc : int) (dst : Insn.reg)
+    (kind : Insn.ld64_kind) : unit =
+  Venv.check_reg_write env ~pc dst;
+  let v =
+    match kind with
+    | Insn.Const c -> Regstate.const_scalar c
+    | Insn.Map_fd fd -> begin
+        Venv.cov env "ld:map_fd";
+        match Kstate.map_of_fd env.Venv.kst fd with
+        | Some m ->
+          Regstate.pointer
+            (Regstate.P_map_ptr
+               (Regstate.map_info_of_def ~fd m.Map.def))
+        | None ->
+          Venv.reject env ~pc Venv.EINVAL "fd %d is not pointing to a map"
+            fd
+      end
+    | Insn.Map_value (fd, off) -> begin
+        Venv.cov env "ld:map_value";
+        match Kstate.map_of_fd env.Venv.kst fd with
+        | Some m ->
+          let mi = Regstate.map_info_of_def ~fd m.Map.def in
+          if m.Map.def.Map.mtype <> Map.Array_map then
+            Venv.reject env ~pc Venv.EINVAL
+              "direct value access only on array maps";
+          if off < 0 || off >= mi.Regstate.mi_value_size then
+            Venv.reject env ~pc Venv.EINVAL
+              "direct value offset %d outside value" off;
+          Regstate.pointer (Regstate.P_map_value mi) ~off
+        | None ->
+          Venv.reject env ~pc Venv.EINVAL "fd %d is not pointing to a map"
+            fd
+      end
+    | Insn.Btf_obj id -> begin
+        Venv.cov env "ld:btf_obj";
+        if Venv.unprivileged env then
+          Venv.reject env ~pc Venv.EPERM
+            "BTF object access requires CAP_BPF";
+        match Btf.find id with
+        | Some d ->
+          (* PTR_TO_BTF_ID: trusted, never marked maybe_null - even for
+             objects that are in fact NULL at runtime (paper Listing 2) *)
+          Regstate.pointer (Regstate.P_btf d)
+        | None ->
+          Venv.reject env ~pc Venv.EINVAL "unknown BTF object %d" id
+      end
+  in
+  Venv.set_reg env dst v
+
+(* Push a new call frame for a bpf-to-bpf call. *)
+let push_frame (env : Venv.t) ~(pc : int) ~(target : int) : int =
+  let st = env.Venv.st in
+  if Vstate.frame_count st >= Venv.max_call_depth then
+    Venv.reject env ~pc Venv.EINVAL
+      "the call stack of %d frames is too deep" (Vstate.frame_count st + 1);
+  Venv.cov env "call:local" ~v:(Vstate.frame_count st);
+  let caller = Vstate.cur_frame st in
+  let callee =
+    Vstate.new_frame ~frameno:(Vstate.frame_count st) ~callsite:(pc + 1)
+  in
+  (* R1-R5 are passed; everything else starts uninitialized *)
+  for i = 1 to 5 do
+    callee.Vstate.regs.(i) <- caller.Vstate.regs.(i)
+  done;
+  st.Vstate.frames <- st.Vstate.frames @ [ callee ];
+  target
+
+(* Pop the current frame at EXIT; returns the resume pc. *)
+let pop_frame (env : Venv.t) ~(pc : int) : int =
+  let st = env.Venv.st in
+  let callee = Vstate.cur_frame st in
+  let r0 = callee.Vstate.regs.(0) in
+  if not (Regstate.is_init r0) then
+    Venv.reject env ~pc Venv.EACCES "R0 !read_ok at subprogram exit";
+  st.Vstate.frames <-
+    List.filter (fun f -> f != callee) st.Vstate.frames;
+  let caller = Vstate.cur_frame st in
+  caller.Vstate.regs.(0) <- r0;
+  for i = 1 to 5 do
+    caller.Vstate.regs.(i) <- Regstate.not_init
+  done;
+  callee.Vstate.callsite
+
+(* Main-program EXIT: return-range, reference and lock discipline. *)
+let check_main_exit (env : Venv.t) ~(pc : int) : unit =
+  let st = env.Venv.st in
+  let r0 = Vstate.reg st Insn.R0 in
+  if not (Regstate.is_init r0) then
+    Venv.reject env ~pc Venv.EACCES "R0 !read_ok at program exit";
+  Venv.cov env "exit:check";
+  (match r0.Regstate.kind with
+   | Regstate.Ptr _ ->
+     Venv.reject env ~pc Venv.EACCES "R0 leaks pointer at program exit"
+   | Regstate.Scalar -> begin
+       match Prog.return_range env.Venv.prog_type with
+       | None -> ()
+       | Some (lo, hi) ->
+         if r0.Regstate.smin < lo || r0.Regstate.smax > hi then
+           Venv.reject env ~pc Venv.EACCES
+             "At program exit R0 has range [%Ld,%Ld] should be in [%Ld,%Ld]"
+             r0.Regstate.smin r0.Regstate.smax lo hi
+     end
+   | Regstate.Not_init -> assert false);
+  if st.Vstate.refs <> [] then
+    Venv.reject env ~pc Venv.EINVAL
+      "Unreleased reference id=%d" (List.hd st.Vstate.refs);
+  if st.Vstate.active_lock <> None then
+    Venv.reject env ~pc Venv.EINVAL "bpf_spin_lock is missing unlock"
+
+(* -- Pruning ------------------------------------------------------------ *)
+
+let maybe_prune (env : Venv.t) ~(pc : int)
+    (targets : (int, unit) Hashtbl.t) : bool =
+  if not (Hashtbl.mem targets pc) then false
+  else begin
+    let bug3 = Venv.has_bug env Kconfig.Bug3_backtrack_precision in
+    let stored =
+      Option.value (Hashtbl.find_opt env.Venv.explored pc) ~default:[]
+    in
+    match
+      List.find_opt
+        (fun (e : Venv.explored_entry) ->
+           Vstate.states_equal ~old:e.Venv.e_state ~cur:env.Venv.st ~bug3)
+        stored
+    with
+    | Some e when e.Venv.e_branches > 0 ->
+      if List.memq e env.Venv.ancestors then begin
+        (* the current path came back to one of its own states: no loop
+           variable made progress (kernel "infinite loop detected") *)
+        Venv.cov env "prune:loop";
+        Venv.reject env ~pc Venv.EINVAL
+          "infinite loop detected at insn %d" pc
+      end
+      else
+        (* equal to a sibling's in-progress state: pruning would be
+           unsound (its subtree is not verified yet); keep exploring *)
+        false
+    | Some _ ->
+      Venv.cov env "prune:hit";
+      true
+    | None ->
+      if List.length stored < Venv.max_explored_per_insn then begin
+        let e =
+          { Venv.e_state = Vstate.copy env.Venv.st; e_branches = 1 }
+        in
+        Hashtbl.replace env.Venv.explored pc (e :: stored);
+        env.Venv.ancestors <- e :: env.Venv.ancestors
+      end;
+      false
+  end
+
+(* -- Main loop ----------------------------------------------------------- *)
+
+let run (env : Venv.t) : unit =
+  check_cfg env;
+  let insns = env.Venv.insns in
+  let targets = jump_targets insns in
+  env.Venv.branch_stack <- [ (0, env.Venv.st, []) ];
+  (* the current path is done: every state it ran under has one fewer
+     unfinished descendant *)
+  let end_path () =
+    List.iter
+      (fun (e : Venv.explored_entry) ->
+         e.Venv.e_branches <- e.Venv.e_branches - 1)
+      env.Venv.ancestors;
+    env.Venv.ancestors <- []
+  in
+  let rec next_path () =
+    end_path ();
+    match env.Venv.branch_stack with
+    | [] -> ()
+    | (pc, st, ancestors) :: rest ->
+      env.Venv.branch_stack <- rest;
+      env.Venv.st <- st;
+      env.Venv.ancestors <- ancestors;
+      walk pc
+  and walk pc =
+    env.Venv.insn_processed <- env.Venv.insn_processed + 1;
+    if env.Venv.insn_processed > Venv.insn_processed_limit then
+      Venv.reject env ~pc Venv.E2BIG
+        "BPF program is too large. Processed %d insn"
+        env.Venv.insn_processed;
+    if pc < 0 || pc >= Array.length insns then
+      Venv.reject env ~pc Venv.EINVAL "invalid program counter %d" pc;
+    if maybe_prune env ~pc targets then next_path ()
+    else begin
+      env.Venv.aux.(pc).Venv.seen <- true;
+      Venv.logf env "%d: %s\n" pc (Insn.to_string insns.(pc));
+      match insns.(pc) with
+      | Insn.Alu { op64; op; dst; src } ->
+        Check_alu.check env ~pc ~op64 op dst src;
+        walk (pc + 1)
+      | Insn.Endian { swap; bits; dst } ->
+        Check_alu.check_endian env ~pc ~swap ~bits dst;
+        walk (pc + 1)
+      | Insn.Ld_imm64 (dst, kind) ->
+        check_ld_imm64 env ~pc dst kind;
+        walk (pc + 1)
+      | Insn.Ldx { sz; dst; src; off } ->
+        Venv.check_reg_write env ~pc dst;
+        let size = Insn.size_bytes sz in
+        let v =
+          Check_mem.check env ~pc ~access:Check_mem.Aread ~addr_reg:src
+            ~off ~size ()
+        in
+        (* narrow loads zero-extend: the result fits the access width *)
+        let v =
+          if size < 8 && Regstate.is_scalar v && not (Regstate.is_const v)
+          then
+            Regstate.scalar_range ~umin:0L
+              ~umax:(Int64.sub (Int64.shift_left 1L (size * 8)) 1L)
+          else v
+        in
+        Venv.set_reg env dst v;
+        walk (pc + 1)
+      | Insn.St { sz; dst; off; imm } ->
+        let _ =
+          Check_mem.check env ~pc ~access:Check_mem.Awrite ~addr_reg:dst
+            ~off ~size:(Insn.size_bytes sz)
+            ~stored:(Regstate.const_scalar (Int64.of_int32 imm)) ()
+        in
+        walk (pc + 1)
+      | Insn.Stx { sz; dst; src; off } ->
+        let stored = Venv.check_reg_read env ~pc src in
+        let _ =
+          Check_mem.check env ~pc ~access:Check_mem.Awrite ~addr_reg:dst
+            ~off ~size:(Insn.size_bytes sz) ~stored ()
+        in
+        walk (pc + 1)
+      | Insn.Atomic _ as a ->
+        Check_mem.check_atomic env ~pc a;
+        walk (pc + 1)
+      | Insn.Ja off -> walk (pc + 1 + off)
+      | Insn.Jmp { op32; cond; dst; src; off } -> begin
+          match Check_jmp.check env ~pc ~op32 cond dst src with
+          | Check_jmp.Both (taken, fall) ->
+            (* the pushed sibling also runs under the current ancestors *)
+            List.iter
+              (fun (e : Venv.explored_entry) ->
+                 e.Venv.e_branches <- e.Venv.e_branches + 1)
+              env.Venv.ancestors;
+            env.Venv.branch_stack <-
+              (pc + 1 + off, taken, env.Venv.ancestors)
+              :: env.Venv.branch_stack;
+            env.Venv.st <- fall;
+            walk (pc + 1)
+          | Check_jmp.Taken_only st ->
+            env.Venv.st <- st;
+            walk (pc + 1 + off)
+          | Check_jmp.Fall_only st ->
+            env.Venv.st <- st;
+            walk (pc + 1)
+        end
+      | Insn.Call (Insn.Helper id) ->
+        Check_call.check_helper env ~pc id;
+        walk (pc + 1)
+      | Insn.Call (Insn.Kfunc id) ->
+        Check_call.check_kfunc env ~pc id;
+        walk (pc + 1)
+      | Insn.Call (Insn.Local off) ->
+        let target = push_frame env ~pc ~target:(pc + 1 + off) in
+        walk target
+      | Insn.Exit ->
+        if Vstate.frame_count env.Venv.st > 1 then begin
+          let resume = pop_frame env ~pc in
+          walk resume
+        end
+        else begin
+          check_main_exit env ~pc;
+          Venv.cov env "exit:ok";
+          next_path ()
+        end
+    end
+  in
+  next_path ()

@@ -1,0 +1,48 @@
+(* kcov-style branch coverage over the verifier's decision points.
+
+   Every interesting branch in the analysis calls [hit] with a static
+   site name (and optionally a small variant discriminator, e.g. the
+   register type a check dispatched on), mirroring how kcov assigns an
+   edge id per basic block.  A campaign keeps one global [t] and asks
+   each verification run for the set of new edges — the fuzzer's
+   feedback signal and the metric of Table 3 / Figure 6. *)
+
+type t = {
+  interner : (string, int) Hashtbl.t;
+  mutable next_site : int;
+  edges : (int, int) Hashtbl.t; (* edge id -> hit count *)
+}
+
+let create () =
+  { interner = Hashtbl.create 256; next_site = 0; edges = Hashtbl.create 1024 }
+
+let variants_per_site = 256
+
+let site_id (t : t) (site : string) : int =
+  match Hashtbl.find_opt t.interner site with
+  | Some id -> id
+  | None ->
+    let id = t.next_site in
+    t.next_site <- id + 1;
+    Hashtbl.replace t.interner site id;
+    id
+
+let edge_id (t : t) (site : string) (variant : int) : int =
+  (site_id t site * variants_per_site) + (variant land (variants_per_site - 1))
+
+let record (t : t) (edge : int) : unit =
+  let n = Option.value (Hashtbl.find_opt t.edges edge) ~default:0 in
+  Hashtbl.replace t.edges edge (n + 1)
+
+let edge_count (t : t) : int = Hashtbl.length t.edges
+
+(* Merge a run's local edge set; returns how many edges were new. *)
+let merge (t : t) (local : (int, unit) Hashtbl.t) : int =
+  Hashtbl.fold
+    (fun edge () fresh ->
+       let was_new = not (Hashtbl.mem t.edges edge) in
+       record t edge;
+       if was_new then fresh + 1 else fresh)
+    local 0
+
+let reset (t : t) : unit = Hashtbl.reset t.edges

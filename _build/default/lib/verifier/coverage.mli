@@ -1,0 +1,28 @@
+(** kcov-style branch coverage over the verifier's decision points.
+
+    Every interesting branch in the analysis registers a static site
+    name plus a small variant discriminator; a campaign keeps one global
+    [t] and measures the set of new edges per run — the fuzzer's
+    feedback signal and the metric of Table 3 / Figure 6. *)
+
+type t = {
+  interner : (string, int) Hashtbl.t;
+  mutable next_site : int;
+  edges : (int, int) Hashtbl.t; (** edge id -> hit count *)
+}
+
+val create : unit -> t
+
+val variants_per_site : int
+
+val site_id : t -> string -> int
+val edge_id : t -> string -> int -> int
+val record : t -> int -> unit
+
+val edge_count : t -> int
+(** Distinct edges observed so far. *)
+
+val merge : t -> (int, unit) Hashtbl.t -> int
+(** Merge a run's local edge set; returns how many were new. *)
+
+val reset : t -> unit

@@ -1,0 +1,71 @@
+open Vimport
+
+(* Post-verification rewrite passes (kernel's convert_ctx_accesses /
+   do_misc_fixups, scaled down):
+
+   - LD_IMM64 pseudo-relocations are resolved to concrete kernel
+     addresses (map objects, direct map values, BTF object addresses —
+     the last of which may legitimately be NULL at runtime);
+   - division/modulo instructions gain a zero-divisor guard sequence,
+     which doubles as a realistic source of rewrite-emitted instructions
+     that the sanitizer must skip (paper section 4.2). *)
+
+let resolve_ld (kst : Kstate.t) ~(pc : int) (dst : Insn.reg)
+    (kind : Insn.ld64_kind) : Insn.t =
+  match kind with
+  | Insn.Const _ -> Insn.Ld_imm64 (dst, kind)
+  | Insn.Map_fd fd -> begin
+      match Kstate.map_addr kst fd with
+      | Some addr -> Insn.Ld_imm64 (dst, Insn.Const addr)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "fixup: unresolved map fd %d at %d" fd pc)
+    end
+  | Insn.Map_value (fd, off) -> begin
+      match Kstate.map_of_fd kst fd with
+      | Some m -> begin
+          let key = Bytes.make (max 4 m.Map.def.Map.key_size) '\000' in
+          match Map.lookup m ~key with
+          | Some base ->
+            Insn.Ld_imm64 (dst, Insn.Const (Int64.add base (Int64.of_int off)))
+          | None ->
+            invalid_arg
+              (Printf.sprintf "fixup: map %d has no direct value" fd)
+        end
+      | None ->
+        invalid_arg
+          (Printf.sprintf "fixup: unresolved map fd %d at %d" fd pc)
+    end
+  | Insn.Btf_obj id ->
+    (* runtime address; NULL when the object is absent on this cpu *)
+    Insn.Ld_imm64 (dst, Insn.Const (Kstate.btf_addr kst id))
+
+(* Divisor-zero guard (kernel emits an equivalent sequence for JITs):
+     if src != 0 goto +2        (divisor ok: run the division)
+     dst = 0 (div) / nop (mod)  (eBPF: x/0 = 0, x%0 = x)
+     goto +1                    (skip the division)
+     <original div/mod>                                               *)
+let div_guard ~(op64 : bool) (op : Insn.alu_op) (dst : Insn.reg)
+    (src : Insn.reg) (orig : Insn.t) : Insn.t list =
+  let open Asm in
+  if op = Insn.Div then
+    [ jmp_imm Insn.Jne src 0l 2;
+      (if op64 then mov64_imm dst 0l else mov32_imm dst 0l);
+      ja 1;
+      orig ]
+  else if op64 then
+    (* mod64-by-zero keeps the dividend: just skip the op *)
+    [ jmp_imm Insn.Jeq src 0l 1; orig ]
+  else
+    (* mod32-by-zero keeps the low half of the dividend, zero-extended *)
+    [ jmp_imm Insn.Jne src 0l 2; mov32_reg dst dst; ja 1; orig ]
+
+let run (kst : Kstate.t) ~(insns : Insn.t array)
+    ~(aux : Venv.aux array) : Insn.t array * Venv.aux array =
+  Patch.expand ~insns ~aux ~f:(fun pc insn _aux ->
+      match insn with
+      | Insn.Ld_imm64 (dst, kind) -> Some [ resolve_ld kst ~pc dst kind ]
+      | Insn.Alu { op64; op = (Insn.Div | Insn.Mod) as op; dst;
+                   src = Insn.Reg src } ->
+        Some (div_guard ~op64 op dst src insn)
+      | _ -> None)

@@ -1,0 +1,62 @@
+open Vimport
+
+(* Instruction patching infrastructure (kernel bpf_patch_insn_data): a
+   rewrite pass replaces single instructions with short sequences, and
+   every branch offset in the program is re-targeted accordingly.
+
+   Contract: the replacement list's LAST element is the (possibly
+   rewritten) original instruction; branches that targeted the original
+   index land on the first inserted instruction, so instrumentation runs
+   before the instruction it guards.  Inserted instructions may contain
+   small forward jumps that stay within their own group. *)
+
+(* Replacement callback: None keeps the instruction; Some [..; orig']
+   replaces it. *)
+type rewrite = int -> Insn.t -> Venv.aux -> Insn.t list option
+
+let expand ~(insns : Insn.t array) ~(aux : Venv.aux array) ~(f : rewrite) :
+  Insn.t array * Venv.aux array =
+  let n = Array.length insns in
+  let groups =
+    Array.mapi
+      (fun i insn ->
+         match f i insn aux.(i) with
+         | Some (_ :: _ as g) -> g
+         | Some [] | None -> [ insn ])
+      insns
+  in
+  let group_start = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    group_start.(i + 1) <- group_start.(i) + List.length groups.(i)
+  done;
+  let total = group_start.(n) in
+  let out = Array.make total Insn.Exit in
+  let out_aux = Array.init total (fun _ -> Venv.fresh_aux ()) in
+  Array.iteri
+    (fun i group ->
+       let len = List.length group in
+       List.iteri
+         (fun k insn ->
+            let pos = group_start.(i) + k in
+            if k = len - 1 then begin
+              (* the original instruction: keep its aux, retarget *)
+              out_aux.(pos) <- aux.(i);
+              let retarget off =
+                let target = i + 1 + off in
+                group_start.(target) - (pos + 1)
+              in
+              out.(pos) <-
+                (match insn with
+                 | Insn.Jmp j -> Insn.Jmp { j with off = retarget j.off }
+                 | Insn.Ja off -> Insn.Ja (retarget off)
+                 | Insn.Call (Insn.Local off) ->
+                   Insn.Call (Insn.Local (retarget off))
+                 | other -> other)
+            end
+            else begin
+              out_aux.(pos).Venv.rewritten <- true;
+              out.(pos) <- insn
+            end)
+         group)
+    groups;
+  (out, out_aux)

@@ -1,0 +1,19 @@
+(** Instruction patching infrastructure (kernel [bpf_patch_insn_data]):
+    a rewrite pass replaces single instructions with short sequences and
+    every branch offset in the program is re-targeted.
+
+    Contract: the replacement list's LAST element is the (possibly
+    rewritten) original instruction; branches that targeted the original
+    index land on the first inserted instruction, so instrumentation
+    runs before the instruction it guards.  Inserted instructions may
+    contain small forward jumps that stay within their own group. *)
+
+type rewrite =
+  int -> Bvf_ebpf.Insn.t -> Venv.aux -> Bvf_ebpf.Insn.t list option
+(** [None] keeps the instruction; [Some [..; orig']] replaces it. *)
+
+val expand :
+  insns:Bvf_ebpf.Insn.t array -> aux:Venv.aux array -> f:rewrite ->
+  Bvf_ebpf.Insn.t array * Venv.aux array
+(** Inserted instructions get fresh aux marked [rewritten]; the original
+    keeps its aux. *)

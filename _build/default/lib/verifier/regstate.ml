@@ -1,0 +1,223 @@
+open Vimport
+
+(* Abstract register state: the heart of the verifier's analysis.
+
+   Mirrors the kernel's struct bpf_reg_state: a register is either
+   uninitialized, a scalar tracked by a tnum plus signed/unsigned 64-bit
+   ranges, or a typed pointer with a constant offset component [off], a
+   variable offset [var_off]+ranges, an optional maybe_null flag with an
+   [id] linking copies of the same nullable value, and for packet
+   pointers a proven [range] against data_end. *)
+
+type map_info = {
+  mi_fd : int;
+  mi_type : Map.map_type;
+  mi_key_size : int;
+  mi_value_size : int;
+  mi_max_entries : int;
+  mi_has_spin_lock : bool;
+}
+
+let map_info_of_def ~(fd : int) (d : Map.def) : map_info =
+  {
+    mi_fd = fd;
+    mi_type = d.Map.mtype;
+    mi_key_size = d.Map.key_size;
+    mi_value_size = d.Map.value_size;
+    mi_max_entries = d.Map.max_entries;
+    mi_has_spin_lock = d.Map.has_spin_lock;
+  }
+
+type ptr_kind =
+  | P_ctx
+  | P_stack of int (* frame number *)
+  | P_map_ptr of map_info
+  | P_map_value of map_info
+  | P_btf of Btf.desc
+  | P_packet
+  | P_packet_end
+  | P_mem of int (* dynamically allocated memory of known size (ringbuf) *)
+
+let ptr_kind_name = function
+  | P_ctx -> "ctx"
+  | P_stack _ -> "fp"
+  | P_map_ptr _ -> "map_ptr"
+  | P_map_value _ -> "map_value"
+  | P_btf d -> "ptr_" ^ d.Btf.btf_name
+  | P_packet -> "pkt"
+  | P_packet_end -> "pkt_end"
+  | P_mem _ -> "ringbuf_mem"
+
+type ptr_info = { pk : ptr_kind; maybe_null : bool; id : int; ref_id : int }
+
+type rkind =
+  | Not_init
+  | Scalar
+  | Ptr of ptr_info
+
+type t = {
+  kind : rkind;
+  off : int;          (* constant offset component (pointers) *)
+  var_off : Tnum.t;   (* variable offset (pointers) / value (scalars) *)
+  smin : int64;
+  smax : int64;
+  umin : int64;
+  umax : int64;
+  range : int;        (* packet pointers: proven bytes beyond off *)
+  precise : bool;     (* scalar feeds a pointer offset or size *)
+  from_kfunc : bool;  (* scalar produced by a kfunc call (Bug#3 hook) *)
+}
+
+let not_init : t =
+  { kind = Not_init; off = 0; var_off = Tnum.unknown; smin = Int64.min_int;
+    smax = Int64.max_int; umin = 0L; umax = -1L (* U64_MAX *); range = 0;
+    precise = false; from_kfunc = false }
+
+let unknown_scalar : t =
+  { not_init with kind = Scalar }
+
+let const_scalar (v : int64) : t =
+  { kind = Scalar; off = 0; var_off = Tnum.const v; smin = v; smax = v;
+    umin = v; umax = v; range = 0; precise = false; from_kfunc = false }
+
+let pointer ?(maybe_null = false) ?(id = 0) ?(ref_id = 0) ?(off = 0)
+    (pk : ptr_kind) : t =
+  { kind = Ptr { pk; maybe_null; id; ref_id }; off;
+    var_off = Tnum.const 0L; smin = 0L; smax = 0L; umin = 0L; umax = 0L;
+    range = 0; precise = false; from_kfunc = false }
+
+let fp (frameno : int) : t = pointer (P_stack frameno)
+let ctx_pointer : t = pointer P_ctx
+
+let is_init (r : t) : bool = r.kind <> Not_init
+let is_scalar (r : t) : bool = r.kind = Scalar
+
+let is_pointer (r : t) : bool =
+  match r.kind with Ptr _ -> true | Scalar | Not_init -> false
+
+let ptr_kind (r : t) : ptr_kind option =
+  match r.kind with
+  | Ptr p -> Some p.pk
+  | Scalar | Not_init -> None
+
+let is_maybe_null (r : t) : bool =
+  match r.kind with
+  | Ptr p -> p.maybe_null
+  | Scalar | Not_init -> false
+
+let is_const (r : t) : bool = is_scalar r && Tnum.is_const r.var_off
+
+let const_value (r : t) : int64 option =
+  if is_const r then Some r.var_off.Tnum.value else None
+
+(* -- Bounds bookkeeping (kernel __update_reg_bounds and friends) ------ *)
+
+(* Refresh min/max from var_off knowledge. *)
+let update_bounds (r : t) : t =
+  let tmin = Tnum.umin r.var_off and tmax = Tnum.umax r.var_off in
+  let umin = Word.umax r.umin tmin in
+  let umax = Word.umin r.umax tmax in
+  (* signed bounds from tnum only when the sign bit is known *)
+  let smin, smax =
+    if Int64.logand r.var_off.Tnum.mask Int64.min_int = 0L then
+      (* sign bit known *)
+      (Word.smax r.smin tmin, Word.smin r.smax tmax)
+    else (r.smin, r.smax)
+  in
+  { r with smin; smax; umin; umax }
+
+(* Cross-deduce signed and unsigned bounds (kernel __reg_deduce_bounds,
+   simplified to the sound core). *)
+let deduce_bounds (r : t) : t =
+  let smin, smax, umin, umax = r.smin, r.smax, r.umin, r.umax in
+  (* if the signed range does not cross the sign boundary, it constrains
+     the unsigned range, and vice versa *)
+  let smin, smax, umin, umax =
+    if smin >= 0L then
+      (smin, smax, Word.umax umin smin, Word.umin umax smax)
+    else if smax < 0L then
+      (smin, smax, Word.umax umin smin, Word.umin umax smax)
+    else (smin, smax, umin, umax)
+  in
+  (* unsigned range entirely below the sign boundary constrains signed *)
+  let smin, smax =
+    if Word.ule umax Int64.max_int then
+      (Word.smax smin umin, Word.smin smax umax)
+    else if Word.uge umin Int64.min_int then
+      (* entirely above: as signed both negative *)
+      (Word.smax smin umin, Word.smin smax umax)
+    else (smin, smax)
+  in
+  { r with smin; smax; umin; umax }
+
+(* Shrink var_off using the unsigned range. *)
+let bound_offset (r : t) : t =
+  { r with
+    var_off =
+      Tnum.intersect r.var_off (Tnum.range ~min:r.umin ~max:r.umax) }
+
+let sync (r : t) : t = bound_offset (deduce_bounds (update_bounds r))
+
+(* An impossible range means the verifier followed a dead branch. *)
+let is_bottom (r : t) : bool =
+  is_scalar r && (r.smin > r.smax || Word.ugt r.umin r.umax)
+
+let scalar_of_tnum (t : Tnum.t) : t =
+  sync { unknown_scalar with var_off = t; umin = Tnum.umin t;
+         umax = Tnum.umax t }
+
+(* Scalar with the given unsigned range. *)
+let scalar_range ~(umin : int64) ~(umax : int64) : t =
+  sync { unknown_scalar with umin; umax;
+         var_off = Tnum.range ~min:umin ~max:umax }
+
+(* Mark as 32-bit: value was zero-extended from 32 bits. *)
+let truncate32 (r : t) : t =
+  let var_off = Tnum.cast r.var_off ~size:4 in
+  sync
+    { r with var_off; umin = Tnum.umin var_off; umax = Tnum.umax var_off;
+      smin = Int64.min_int; smax = Int64.max_int }
+
+(* -- Comparison for state pruning ------------------------------------- *)
+
+(* Is [cur] safe assuming [old] was verified safe?  (old subsumes cur) *)
+let reg_within ~(old : t) ~(cur : t) ~(bug3 : bool) : bool =
+  match old.kind, cur.kind with
+  | Not_init, _ -> true (* old tolerated anything *)
+  | Scalar, Scalar ->
+    (* We conservatively treat every scalar as precise (the kernel
+       prunes more aggressively using precision backtracking; skipping
+       that machinery only costs extra exploration, never soundness). *)
+    if bug3 && old.from_kfunc then
+      (* Bug#3: backtracking failed to mark kfunc results precise, so
+         the buggy pruning treats them as interchangeable *)
+      true
+    else
+      old.smin <= cur.smin && old.smax >= cur.smax
+      && Word.ule old.umin cur.umin && Word.uge old.umax cur.umax
+      && Tnum.subset ~of_:old.var_off cur.var_off
+  | Ptr op, Ptr cp ->
+    op.pk = cp.pk && old.off = cur.off
+    && Tnum.equal old.var_off cur.var_off
+    && (op.maybe_null || not cp.maybe_null)
+    && cur.range >= old.range
+  | Scalar, (Not_init | Ptr _)
+  | Ptr _, (Not_init | Scalar) -> false
+
+let to_string (r : t) : string =
+  match r.kind with
+  | Not_init -> "?"
+  | Scalar ->
+    if is_const r then Printf.sprintf "%Ld" r.var_off.Tnum.value
+    else
+      Printf.sprintf "scalar(umin=%Lu,umax=%Lu,smin=%Ld,smax=%Ld%s)"
+        r.umin r.umax r.smin r.smax
+        (if Tnum.is_unknown r.var_off then ""
+         else ",var_off=" ^ Tnum.to_string r.var_off)
+  | Ptr p ->
+    Printf.sprintf "%s%s(off=%d%s%s)" (ptr_kind_name p.pk)
+      (if p.maybe_null then "_or_null" else "")
+      r.off
+      (if Tnum.is_const r.var_off then ""
+       else ",var=" ^ Tnum.to_string r.var_off)
+      (if r.range > 0 then Printf.sprintf ",r=%d" r.range else "")

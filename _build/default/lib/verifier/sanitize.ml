@@ -1,0 +1,100 @@
+open Vimport
+
+(* The paper's memory-access sanitation pass (section 4.2): after
+   verification, every necessary load/store is prefixed with a dispatch
+   to a KASAN-instrumented kernel function, entirely at the eBPF
+   instruction level:
+
+      r11 = r1                  ; back up R1 into the hidden register
+      r1 = <addr reg>
+      r1 += <off>
+      call bpf_asan_load64      ; checks [r1, r1+8) against shadow memory
+      r1 = r11                  ; restore
+      <original load/store>
+
+   The internal asan helpers preserve R0 and R2-R5 through the "extended
+   stack" of the patched kernel, so only R1 needs an explicit backup.
+
+   ALU instructions carrying an alu_limit annotation additionally get a
+   runtime assertion equivalent to assert(offset <= alu_limit):
+
+      r11 = r1
+      r1 = <scalar reg>
+      if r1 <= <limit> goto +1
+      call bpf_asan_check_alu   ; reports the violation
+      r1 = r11
+      <original alu>
+
+   Skipped (paper's footprint-reduction strategy): R10-relative accesses
+   with constant offsets (statically validated), instructions emitted by
+   other rewrite passes, and BTF-pointer loads (exception-tabled probe
+   reads). *)
+
+type guard_kind = Gload | Gstore | Gprobe
+
+let asan_fn (kind : guard_kind) (size : int) : Helper.t =
+  match kind, size with
+  | Gload, 1 -> Helper.asan_load8
+  | Gload, 2 -> Helper.asan_load16
+  | Gload, 4 -> Helper.asan_load32
+  | Gload, _ -> Helper.asan_load64
+  | Gstore, 1 -> Helper.asan_store8
+  | Gstore, 2 -> Helper.asan_store16
+  | Gstore, 4 -> Helper.asan_store32
+  | Gstore, _ -> Helper.asan_store64
+  | Gprobe, 1 -> Helper.asan_probe8
+  | Gprobe, 2 -> Helper.asan_probe16
+  | Gprobe, 4 -> Helper.asan_probe32
+  | Gprobe, _ -> Helper.asan_probe64
+
+let mem_guard (kind : guard_kind) ~(addr : Insn.reg) ~(off : int)
+    ~(size : int) (orig : Insn.t) : Insn.t list =
+  let open Asm in
+  [ mov64_reg Insn.R11 Insn.R1;
+    mov64_reg Insn.R1 addr;
+    alu64_imm Insn.Add Insn.R1 (Int32.of_int off);
+    call (asan_fn kind size).Helper.id;
+    mov64_reg Insn.R1 Insn.R11;
+    orig ]
+
+let alu_guard ~(scalar : Insn.reg) ~(limit : int64) (orig : Insn.t) :
+  Insn.t list =
+  let open Asm in
+  let limit32 =
+    if limit > 0x7FFF_FFFFL then 0x7FFF_FFFFl
+    else if limit < 0L then 0l
+    else Int64.to_int32 limit
+  in
+  [ mov64_reg Insn.R11 Insn.R1;
+    mov64_reg Insn.R1 scalar;
+    jmp_imm Insn.Jle Insn.R1 limit32 1;
+    call Helper.asan_check_alu.Helper.id;
+    mov64_reg Insn.R1 Insn.R11;
+    orig ]
+
+let rewrite_insn (_pc : int) (insn : Insn.t) (aux : Venv.aux) :
+  Insn.t list option =
+  if aux.Venv.rewritten || aux.Venv.skip_sanitize then None
+  else
+    match insn with
+    | Insn.Ldx { sz; src; off; _ } ->
+      (* exception-tabled (BTF probe-read) loads get the tolerant
+         check: poisoned memory is reported, faults are not *)
+      let kind = if aux.Venv.exception_handled then Gprobe else Gload in
+      Some (mem_guard kind ~addr:src ~off ~size:(Insn.size_bytes sz) insn)
+    | Insn.St { sz; dst; off; _ } | Insn.Stx { sz; dst; off; _ } ->
+      Some (mem_guard Gstore ~addr:dst ~off
+              ~size:(Insn.size_bytes sz) insn)
+    | Insn.Atomic { sz; dst; off; _ } ->
+      Some (mem_guard Gstore ~addr:dst ~off
+              ~size:(Insn.size_bytes sz) insn)
+    | Insn.Alu { src = Insn.Reg scalar; _ } -> begin
+        match aux.Venv.alu_limit with
+        | Some (limit, _is_sub) -> Some (alu_guard ~scalar ~limit insn)
+        | None -> None
+      end
+    | _ -> None
+
+let run ~(insns : Insn.t array) ~(aux : Venv.aux array) :
+  Insn.t array * Venv.aux array =
+  Patch.expand ~insns ~aux ~f:rewrite_insn

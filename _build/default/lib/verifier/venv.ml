@@ -1,0 +1,141 @@
+open Vimport
+
+(* The verification environment: program, per-instruction auxiliary data
+   (the kernel's insn_aux_data), the current abstract state, the branch
+   worklist, explored states for pruning, the verifier log and the
+   coverage instrumentation. *)
+
+type errno = EACCES | EINVAL | E2BIG | EPERM | EFAULT
+
+let errno_to_string = function
+  | EACCES -> "EACCES"
+  | EINVAL -> "EINVAL"
+  | E2BIG -> "E2BIG"
+  | EPERM -> "EPERM"
+  | EFAULT -> "EFAULT"
+
+type verr = { errno : errno; vmsg : string; vpc : int }
+
+exception Reject of verr
+
+type explored_entry = {
+  e_state : Vstate.t;
+  mutable e_branches : int; (* unfinished paths below this state *)
+}
+
+type aux = {
+  mutable ptr_kind : Regstate.ptr_kind option;
+      (* pointer kind of the address register of a mem-access insn *)
+  mutable alu_limit : (int64 * bool) option; (* limit, is_subtraction *)
+  mutable rewritten : bool;        (* insn emitted by a rewrite pass *)
+  mutable skip_sanitize : bool;    (* known-safe constant stack access *)
+  mutable exception_handled : bool;(* BTF-pointer load: faults handled *)
+  mutable call_helper : Helper.t option; (* resolved helper at this call *)
+  mutable seen : bool;             (* reached by the analysis *)
+}
+
+let fresh_aux () =
+  { ptr_kind = None; alu_limit = None; rewritten = false;
+    skip_sanitize = false; exception_handled = false; call_helper = None;
+    seen = false }
+
+type t = {
+  kst : Kstate.t;
+  config : Kconfig.t;
+  prog_type : Prog.prog_type;
+  attach : Tracepoint.t option;
+  insns : Insn.t array;
+  aux : aux array;
+  mutable st : Vstate.t;
+  (* worklist of (pc, state, ancestors): the stored states the pending
+     path runs under *)
+  mutable branch_stack : (int * Vstate.t * explored_entry list) list;
+  (* stored states per pc.  An entry with [e_branches > 0] still has
+     unfinished paths below it (the kernel's branches counter): pruning
+     against it is unsound; matching one of the CURRENT path's own
+     ancestors means the path looped without progress (the kernel's
+     "infinite loop detected"). *)
+  explored : (int, explored_entry list) Hashtbl.t;
+  mutable ancestors : explored_entry list; (* of the current path *)
+  mutable insn_processed : int;
+  mutable next_id : int;
+  log : Buffer.t;
+  log_level : int;
+  cov : Coverage.t;
+  local_edges : (int, unit) Hashtbl.t;
+}
+
+(* Complexity budget: the scaled-down analogue of BPF_COMPLEXITY_LIMIT. *)
+let insn_processed_limit = 100_000
+let max_explored_per_insn = 24
+let max_call_depth = 4
+
+let create ~(kst : Kstate.t) ~(prog_type : Prog.prog_type)
+    ~(attach : Tracepoint.t option) ~(cov : Coverage.t) ?(log_level = 0)
+    (insns : Insn.t array) : t =
+  {
+    kst;
+    config = kst.Kstate.config;
+    prog_type;
+    attach;
+    insns;
+    aux = Array.init (Array.length insns) (fun _ -> fresh_aux ());
+    st = Vstate.initial ~ctx:Regstate.ctx_pointer;
+    branch_stack = [];
+    explored = Hashtbl.create 64;
+    ancestors = [];
+    insn_processed = 0;
+    next_id = 1;
+    log = Buffer.create 256;
+    log_level;
+    cov;
+    local_edges = Hashtbl.create 256;
+  }
+
+let has_bug (t : t) (b : Kconfig.bug) : bool = Kconfig.has t.config b
+
+(* Unprivileged loads face the stricter checks the paper's section 2
+   mentions: no pointer leaks, no pointer comparisons or arithmetic
+   beyond the allowlist, no BTF/kfunc access. *)
+let unprivileged (t : t) : bool = t.config.Kconfig.unprivileged
+
+let version (t : t) : Version.t = t.config.Kconfig.version
+
+let fresh_id (t : t) : int =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let logf (t : t) fmt =
+  Format.kasprintf
+    (fun s -> if t.log_level > 0 then Buffer.add_string t.log s)
+    fmt
+
+(* Coverage instrumentation point: [site] is a static name for the
+   verifier branch, [v] an optional small discriminator. *)
+let cov ?(v = 0) (t : t) (site : string) : unit =
+  let edge = Coverage.edge_id t.cov site v in
+  Coverage.record t.cov edge;
+  Hashtbl.replace t.local_edges edge ()
+
+let reject (t : t) ~(pc : int) (errno : errno) fmt =
+  Format.kasprintf
+    (fun vmsg ->
+       logf t "%d: %s\n" pc vmsg;
+       raise (Reject { errno; vmsg; vpc = pc }))
+    fmt
+
+let reg (t : t) (r : Insn.reg) : Regstate.t = Vstate.reg t.st r
+let set_reg (t : t) (r : Insn.reg) (v : Regstate.t) : unit =
+  Vstate.set_reg t.st r v
+
+(* Read-check: using an uninitialized register is an immediate reject. *)
+let check_reg_read (t : t) ~(pc : int) (r : Insn.reg) : Regstate.t =
+  let v = reg t r in
+  if not (Regstate.is_init v) then
+    reject t ~pc EACCES "R%d !read_ok" (Insn.reg_to_int r)
+  else v
+
+let check_reg_write (t : t) ~(pc : int) (r : Insn.reg) : unit =
+  if r = Insn.R10 then
+    reject t ~pc EACCES "frame pointer is read only"

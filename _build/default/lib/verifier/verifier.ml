@@ -1,0 +1,184 @@
+open Vimport
+
+(* Public entry point: the bpf(BPF_PROG_LOAD) pipeline.
+
+      structural checks -> attach validation -> abstract interpretation
+      -> fixup rewrites -> (optional) bpf_asan sanitation -> loaded
+
+   Also carries two injected non-verifier bugs from Table 2:
+   - Bug#8: the syscall duplicates the rewritten instruction array with
+     kmemdup; above the kmalloc allocation limit this fails and splats
+     (the paper's fix introduced kvmemdup);
+   - Bug#11 is armed here by accepting device-offloaded XDP programs
+     that the runtime will erroneously execute on the host. *)
+
+type request = {
+  r_prog_type : Prog.prog_type;
+  r_attach : string option;
+  r_offload : bool; (* XDP: target a device, not the host *)
+  r_insns : Insn.t array;
+}
+
+let request ?(attach = None) ?(offload = false) prog_type insns =
+  { r_prog_type = prog_type; r_attach = attach; r_offload = offload;
+    r_insns = insns }
+
+type loaded = {
+  l_id : int;
+  l_insns : Insn.t array;        (* post-rewrite instruction stream *)
+  l_aux : Venv.aux array;        (* aligned auxiliary data *)
+  l_prog_type : Prog.prog_type;
+  l_attach : Tracepoint.t option;
+  l_offload : bool;
+  l_orig_len : int;              (* pre-rewrite instruction count *)
+  l_log : string;                (* verifier log *)
+  l_insn_processed : int;        (* verification effort *)
+}
+
+let next_prog_id = ref 1
+
+(* kmalloc allocation limit for the Bug#8 kmemdup path (bytes). *)
+let kmalloc_max = 8192
+
+(* Programs must not reference the hidden register or the internal
+   sanitizing helpers: only rewrite passes may emit those. *)
+let uses_reserved (insns : Insn.t array) : bool =
+  Array.exists
+    (fun i ->
+       List.exists (fun r -> r = Insn.R11) (Insn.regs_read i)
+       || List.exists (fun r -> r = Insn.R11) (Insn.regs_written i)
+       ||
+       match i with
+       | Insn.Call (Insn.Helper id) -> begin
+           match Helper.find id with
+           | Some h -> h.Helper.internal
+           | None -> false
+         end
+       | _ -> false)
+    insns
+
+(* Program types loadable without CAP_BPF/CAP_PERFMON. *)
+let unprivileged_prog_types = [ Prog.Socket_filter; Prog.Cgroup_skb ]
+
+let check_privilege (kst : Kstate.t) (req : request) :
+  (unit, Venv.verr) result =
+  if kst.Kstate.config.Kconfig.unprivileged
+     && not (List.mem req.r_prog_type unprivileged_prog_types)
+  then
+    Error { Venv.errno = Venv.EPERM;
+            vmsg = Printf.sprintf "prog type %s requires CAP_BPF"
+                (Prog.prog_type_to_string req.r_prog_type);
+            vpc = 0 }
+  else Ok ()
+
+let resolve_attach (kst : Kstate.t) (req : request) :
+  (Tracepoint.t option, Venv.verr) result =
+  match req.r_attach with
+  | None -> Ok None
+  | Some name -> begin
+      match Tracepoint.find name with
+      | None ->
+        Error { Venv.errno = Venv.EINVAL;
+                vmsg = Printf.sprintf "unknown attach point %s" name;
+                vpc = 0 }
+      | Some tp ->
+        if not (List.mem req.r_prog_type tp.Tracepoint.tp_prog_types) then
+          Error { Venv.errno = Venv.EINVAL;
+                  vmsg = Printf.sprintf
+                      "prog type %s cannot attach to %s"
+                      (Prog.prog_type_to_string req.r_prog_type) name;
+                  vpc = 0 }
+        else if
+          not (Version.at_least kst.Kstate.config.Kconfig.version
+                 tp.Tracepoint.tp_since)
+        then
+          Error { Venv.errno = Venv.EINVAL;
+                  vmsg = Printf.sprintf "%s does not exist in %s" name
+                      (Version.to_string
+                         kst.Kstate.config.Kconfig.version);
+                  vpc = 0 }
+        else Ok (Some tp)
+    end
+
+let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
+    (req : request) : (loaded, Venv.verr) result =
+  let n = Array.length req.r_insns in
+  if n = 0 then
+    Error { Venv.errno = Venv.EINVAL; vmsg = "empty program"; vpc = 0 }
+  else if n > Prog.max_insns then
+    Error { Venv.errno = Venv.E2BIG;
+            vmsg = Printf.sprintf "program too large (%d insns)" n;
+            vpc = 0 }
+  else if uses_reserved req.r_insns then
+    Error { Venv.errno = Venv.EINVAL;
+            vmsg = "program uses reserved register or helper"; vpc = 0 }
+  else
+    match check_privilege kst req with
+    | Error e -> Error e
+    | Ok () ->
+    match resolve_attach kst req with
+    | Error e -> Error e
+    | Ok attach ->
+      let env =
+        Venv.create ~kst ~prog_type:req.r_prog_type ~attach ~cov
+          ~log_level req.r_insns
+      in
+      match Analyze.run env with
+      | exception Venv.Reject verr -> Error verr
+      | () ->
+        let insns, aux = Fixup.run kst ~insns:req.r_insns ~aux:env.Venv.aux
+        in
+        let insns, aux =
+          if kst.Kstate.config.Kconfig.sanitize then
+            Sanitize.run ~insns ~aux
+          else (insns, aux)
+        in
+        (* Bug#8: the syscall kmemdups the rewritten image for
+           introspection; large images exceed the kmalloc limit *)
+        if Kstate.has_bug kst Kconfig.Bug8_kmemdup_limit
+           && Insn.prog_slots insns * 8 > kmalloc_max then
+          Kstate.report kst
+            (Bvf_kernel.Report.make
+               (Bvf_kernel.Report.Kernel_routine "bpf_prog_load")
+               (Bvf_kernel.Report.Warn
+                  "kmemdup of rewritten insns failed (kmalloc limit)"));
+        let id = !next_prog_id in
+        incr next_prog_id;
+        Ok
+          {
+            l_id = id;
+            l_insns = insns;
+            l_aux = aux;
+            l_prog_type = req.r_prog_type;
+            l_attach = attach;
+            l_offload = req.r_offload;
+            l_orig_len = n;
+            l_log = Buffer.contents env.Venv.log;
+            l_insn_processed = env.Venv.insn_processed;
+          }
+
+(* Verification only (no rewrites): used by tests and the acceptance
+   experiment. *)
+let verify (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
+    (req : request) : (unit, Venv.verr) result =
+  let n = Array.length req.r_insns in
+  if n = 0 || n > Prog.max_insns then
+    Error { Venv.errno = (if n = 0 then Venv.EINVAL else Venv.E2BIG);
+            vmsg = "size"; vpc = 0 }
+  else if uses_reserved req.r_insns then
+    Error { Venv.errno = Venv.EINVAL;
+            vmsg = "program uses reserved register or helper"; vpc = 0 }
+  else
+    match check_privilege kst req with
+    | Error e -> Error e
+    | Ok () ->
+    match resolve_attach kst req with
+    | Error e -> Error e
+    | Ok attach ->
+      let env =
+        Venv.create ~kst ~prog_type:req.r_prog_type ~attach ~cov
+          ~log_level req.r_insns
+      in
+      (match Analyze.run env with
+       | exception Venv.Reject verr -> Error verr
+       | () -> Ok ())

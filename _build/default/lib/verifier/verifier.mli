@@ -1,0 +1,52 @@
+(** Public entry point: the bpf(BPF_PROG_LOAD) pipeline.
+
+    {v structural checks -> attach validation -> abstract interpretation
+       -> fixup rewrites -> (optional) bpf_asan sanitation -> loaded v}
+
+    Carries two injected non-verifier bugs from the paper's Table 2: the
+    Bug#8 kmemdup-above-kmalloc-limit splat in the syscall path, and the
+    acceptance of device-offloaded XDP programs that arms Bug#11 in the
+    runtime. *)
+
+(** A load request, as userspace would issue it. *)
+type request = {
+  r_prog_type : Bvf_ebpf.Prog.prog_type;
+  r_attach : string option;  (** attach point name *)
+  r_offload : bool;          (** XDP: target a device, not the host *)
+  r_insns : Bvf_ebpf.Insn.t array;
+}
+
+val request :
+  ?attach:string option -> ?offload:bool -> Bvf_ebpf.Prog.prog_type ->
+  Bvf_ebpf.Insn.t array -> request
+
+(** A verified, rewritten, (optionally) sanitized program. *)
+type loaded = {
+  l_id : int;
+  l_insns : Bvf_ebpf.Insn.t array; (** post-rewrite instruction stream *)
+  l_aux : Venv.aux array;          (** aligned auxiliary data *)
+  l_prog_type : Bvf_ebpf.Prog.prog_type;
+  l_attach : Bvf_kernel.Tracepoint.t option;
+  l_offload : bool;
+  l_orig_len : int;
+  l_log : string;                  (** verifier log *)
+  l_insn_processed : int;          (** verification effort *)
+}
+
+val kmalloc_max : int
+(** Allocation limit of the Bug#8 kmemdup path, in bytes. *)
+
+val uses_reserved : Bvf_ebpf.Insn.t array -> bool
+(** Does the program reference the hidden register or internal
+    helpers? *)
+
+val load :
+  Bvf_kernel.Kstate.t -> cov:Coverage.t -> ?log_level:int -> request ->
+  (loaded, Venv.verr) result
+(** The full pipeline. *)
+
+val verify :
+  Bvf_kernel.Kstate.t -> cov:Coverage.t -> ?log_level:int -> request ->
+  (unit, Venv.verr) result
+(** Verification only (no rewrites): used by tests and the acceptance
+    experiment. *)

@@ -1,0 +1,14 @@
+(* Short aliases for the substrate modules used across the verifier. *)
+
+module Word = Bvf_ebpf.Word
+module Version = Bvf_ebpf.Version
+module Insn = Bvf_ebpf.Insn
+module Asm = Bvf_ebpf.Asm
+module Prog = Bvf_ebpf.Prog
+module Helper = Bvf_ebpf.Helper
+module Kconfig = Bvf_kernel.Kconfig
+module Btf = Bvf_kernel.Btf
+module Map = Bvf_kernel.Map
+module Kstate = Bvf_kernel.Kstate
+module Tracepoint = Bvf_kernel.Tracepoint
+module Lockdep = Bvf_kernel.Lockdep

@@ -1,0 +1,225 @@
+open Vimport
+
+(* Verifier state: register file and stack for each call frame, plus the
+   acquired-reference and spin-lock bookkeeping, mirroring the kernel's
+   bpf_verifier_state / bpf_func_state. *)
+
+type byte_state = B_invalid | B_misc | B_zero | B_spill
+
+type frame = {
+  frameno : int;
+  mutable regs : Regstate.t array; (* R0..R10 *)
+  stack : byte_state array;        (* 512 bytes; index i = fp-512+i *)
+  spills : (int, Regstate.t) Hashtbl.t; (* 8-byte slot index -> reg *)
+  callsite : int;                  (* pc to return to; -1 in frame 0 *)
+}
+
+type t = {
+  mutable frames : frame list; (* innermost last *)
+  mutable refs : int list;     (* acquired reference ids *)
+  mutable active_lock : int option; (* map id whose lock is held *)
+}
+
+let stack_bytes = Prog.stack_size
+
+let new_frame ~(frameno : int) ~(callsite : int) : frame =
+  let regs = Array.make 11 Regstate.not_init in
+  regs.(10) <- Regstate.fp frameno;
+  { frameno; regs; stack = Array.make stack_bytes B_invalid;
+    spills = Hashtbl.create 8; callsite }
+
+let initial ~(ctx : Regstate.t) : t =
+  let f = new_frame ~frameno:0 ~callsite:(-1) in
+  f.regs.(1) <- ctx;
+  { frames = [ f ]; refs = []; active_lock = None }
+
+let cur_frame (t : t) : frame =
+  match List.rev t.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "Vstate.cur_frame: no frames"
+
+let frame_count (t : t) : int = List.length t.frames
+
+let copy_frame (f : frame) : frame =
+  { f with regs = Array.copy f.regs; stack = Array.copy f.stack;
+    spills = Hashtbl.copy f.spills }
+
+let copy (t : t) : t =
+  { frames = List.map copy_frame t.frames; refs = t.refs;
+    active_lock = t.active_lock }
+
+let reg (t : t) (r : Insn.reg) : Regstate.t =
+  (cur_frame t).regs.(Insn.reg_to_int r)
+
+let set_reg (t : t) (r : Insn.reg) (v : Regstate.t) : unit =
+  let i = Insn.reg_to_int r in
+  if i = 10 then invalid_arg "Vstate.set_reg: frame pointer is read-only";
+  (cur_frame t).regs.(i) <- v
+
+(* Apply [f] to every register (all frames) sharing nullable-pointer
+   [id]: how a null check on one copy updates the others. *)
+let map_regs_with_id (t : t) ~(id : int) (fn : Regstate.t -> Regstate.t) :
+  unit =
+  let update (fr : frame) =
+    Array.iteri
+      (fun i r ->
+         match r.Regstate.kind with
+         | Regstate.Ptr p when p.id = id && id <> 0 -> fr.regs.(i) <- fn r
+         | _ -> ())
+      fr.regs;
+    Hashtbl.iter
+      (fun slot r ->
+         match r.Regstate.kind with
+         | Regstate.Ptr p when p.id = id && id <> 0 ->
+           Hashtbl.replace fr.spills slot (fn r)
+         | _ -> ())
+      (Hashtbl.copy fr.spills)
+  in
+  List.iter update t.frames
+
+(* Same, for packet pointers sharing [id] (range propagation). *)
+let map_packet_regs (t : t) ~(id : int) (fn : Regstate.t -> Regstate.t) :
+  unit =
+  let update (fr : frame) =
+    Array.iteri
+      (fun i r ->
+         match r.Regstate.kind with
+         | Regstate.Ptr { pk = Regstate.P_packet; id = id'; _ }
+           when id' = id ->
+           fr.regs.(i) <- fn r
+         | _ -> ())
+      fr.regs
+  in
+  List.iter update t.frames
+
+(* -- Stack access ------------------------------------------------------ *)
+
+(* Translate a frame-pointer-relative offset (negative) to a stack array
+   index. *)
+let stack_index (off : int) : int option =
+  let i = stack_bytes + off in
+  if i >= 0 && i < stack_bytes then Some i else None
+
+let slot_of_off (off : int) : int = (stack_bytes + off) / 8
+
+(* Record a store of [size] bytes at fp+[off].  A full 8-byte aligned
+   store of a register spills it; everything else downgrades the bytes
+   to misc/zero and kills any overlapping spill. *)
+let stack_write (f : frame) ~(off : int) ~(size : int)
+    (stored : Regstate.t) : unit =
+  let kill_spill_at idx = Hashtbl.remove f.spills (idx / 8) in
+  let zero =
+    match Regstate.const_value stored with Some 0L -> true | _ -> false
+  in
+  if size = 8 && (stack_bytes + off) mod 8 = 0 then begin
+    let slot = slot_of_off off in
+    (match stack_index off with
+     | Some base ->
+       for i = base to base + 7 do
+         f.stack.(i) <- B_spill
+       done;
+       Hashtbl.replace f.spills slot stored
+     | None -> ())
+  end
+  else begin
+    match stack_index off with
+    | Some base ->
+      for i = base to base + size - 1 do
+        kill_spill_at i;
+        f.stack.(i) <- (if zero then B_zero else B_misc)
+      done
+    | None -> ()
+  end
+
+(* Read [size] bytes at fp+[off]: the resulting register state, or an
+   error string when uninitialized bytes are read. *)
+let stack_read (f : frame) ~(off : int) ~(size : int) :
+  (Regstate.t, string) result =
+  match stack_index off with
+  | None -> Error "stack offset out of range"
+  | Some base ->
+    let slot = slot_of_off off in
+    if size = 8 && (stack_bytes + off) mod 8 = 0
+       && Hashtbl.mem f.spills slot then
+      Ok (Hashtbl.find f.spills slot)
+    else begin
+      let rec scan i all_zero =
+        if i >= size then Ok (if all_zero then `Zero else `Misc)
+        else
+          match f.stack.(base + i) with
+          | B_invalid -> Error "invalid read from stack"
+          | B_zero -> scan (i + 1) all_zero
+          | B_misc | B_spill -> scan (i + 1) false
+      in
+      match scan 0 true with
+      | Error e -> Error e
+      | Ok `Zero -> Ok (Regstate.const_scalar 0L)
+      | Ok `Misc -> Ok Regstate.unknown_scalar
+    end
+
+(* Are [size] bytes at fp+[off] fully initialized (helper Mem_rd args)? *)
+let stack_initialized (f : frame) ~(off : int) ~(size : int) : bool =
+  match stack_index off with
+  | None -> false
+  | Some base ->
+    let rec go i =
+      i >= size
+      || (f.stack.(base + i) <> B_invalid && go (i + 1))
+    in
+    go 0
+
+(* Mark [size] bytes as written (helper Mem_wr args). *)
+let stack_mark_written (f : frame) ~(off : int) ~(size : int) : unit =
+  match stack_index off with
+  | None -> ()
+  | Some base ->
+    for i = base to base + size - 1 do
+      Hashtbl.remove f.spills (i / 8);
+      f.stack.(i) <- B_misc
+    done
+
+(* -- Pruning ----------------------------------------------------------- *)
+
+let stack_within ~(old : frame) ~(cur : frame) ~(bug3 : bool) : bool =
+  let byte_ok i =
+    match old.stack.(i), cur.stack.(i) with
+    | B_invalid, _ -> true
+    | B_misc, (B_misc | B_zero | B_spill) -> true
+    | B_zero, B_zero -> true
+    | B_spill, B_spill -> true
+    | (B_misc | B_zero | B_spill), _ -> false
+  in
+  let rec bytes i = i >= stack_bytes || (byte_ok i && bytes (i + 1)) in
+  let spills_ok () =
+    Hashtbl.fold
+      (fun slot old_reg acc ->
+         acc
+         && (match Hashtbl.find_opt cur.spills slot with
+             | Some cur_reg ->
+               Regstate.reg_within ~old:old_reg ~cur:cur_reg ~bug3
+             | None ->
+               (* old spill may have degraded to misc in cur *)
+               (match old_reg.Regstate.kind with
+                | Regstate.Scalar -> not old_reg.Regstate.precise
+                | _ -> false)))
+      old.spills true
+  in
+  bytes 0 && spills_ok ()
+
+let frame_within ~(old : frame) ~(cur : frame) ~(bug3 : bool) : bool =
+  old.callsite = cur.callsite
+  && (let rec regs i =
+        i > 10
+        || (Regstate.reg_within ~old:old.regs.(i) ~cur:cur.regs.(i) ~bug3
+            && regs (i + 1))
+      in
+      regs 0)
+  && stack_within ~old ~cur ~bug3
+
+let states_equal ~(old : t) ~(cur : t) ~(bug3 : bool) : bool =
+  List.length old.frames = List.length cur.frames
+  && old.active_lock = cur.active_lock
+  && List.length old.refs = List.length cur.refs
+  && List.for_all2
+    (fun o c -> frame_within ~old:o ~cur:c ~bug3)
+    old.frames cur.frames

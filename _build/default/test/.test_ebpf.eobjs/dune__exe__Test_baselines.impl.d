@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bvf_baselines Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Hashtbl List Printf Result

@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Int32 List Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Hashtbl Int32 List Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Array Bvf_ebpf Bytes Int64 List QCheck2 QCheck_alcotest String

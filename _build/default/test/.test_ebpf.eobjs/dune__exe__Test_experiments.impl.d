@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bvf_core Bvf_ebpf Bvf_experiments Bvf_kernel Bvf_verifier List Printf

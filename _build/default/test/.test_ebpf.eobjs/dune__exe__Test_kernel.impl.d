@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bvf_ebpf Bvf_kernel Bytes Char Hashtbl Int64 List Option QCheck2 QCheck_alcotest Result

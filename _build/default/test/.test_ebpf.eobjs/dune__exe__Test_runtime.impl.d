@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Bytes Int64 List Option Printf QCheck2 QCheck_alcotest String

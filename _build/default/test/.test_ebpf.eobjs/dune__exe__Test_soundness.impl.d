@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Bvf_core Bvf_ebpf Bvf_kernel Bvf_runtime Bvf_verifier Int64 List QCheck2 QCheck_alcotest Result String

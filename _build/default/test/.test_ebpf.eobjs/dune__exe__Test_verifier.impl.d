@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Array Bvf_ebpf Bvf_kernel Bvf_verifier Int64 List Printf QCheck2 QCheck_alcotest String

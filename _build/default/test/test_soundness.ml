@@ -1,0 +1,217 @@
+(* Abstract-interpretation soundness properties.
+
+   These are the load-bearing invariants of the whole reproduction:
+
+   1. ALU transfer functions: for any abstract scalar states and any
+      concrete members, the concrete result of an operation is a member
+      of the abstract result (no under-approximation, which would let
+      the verifier accept memory-unsafe programs and produce false
+      correctness-bug reports).
+
+   2. End-to-end oracle soundness: any structured program the FIXED
+      verifier accepts executes without raising a single kernel report.
+      This is exactly why a report from an accepted program can be
+      blamed on the verifier (the paper's core argument). *)
+
+module Word = Bvf_ebpf.Word
+module Insn = Bvf_ebpf.Insn
+module Version = Bvf_ebpf.Version
+module Kconfig = Bvf_kernel.Kconfig
+module Map = Bvf_kernel.Map
+module Tnum = Bvf_verifier.Tnum
+module Regstate = Bvf_verifier.Regstate
+module Check_alu = Bvf_verifier.Check_alu
+module Verifier = Bvf_verifier.Verifier
+module Loader = Bvf_runtime.Loader
+module Exec = Bvf_runtime.Exec
+module Rng = Bvf_core.Rng
+module Gen = Bvf_core.Gen
+module Campaign = Bvf_core.Campaign
+
+(* -- Membership ------------------------------------------------------------ *)
+
+let member (r : Regstate.t) (x : int64) : bool =
+  Regstate.is_scalar r
+  && r.Regstate.smin <= x
+  && x <= r.Regstate.smax
+  && Word.ule r.Regstate.umin x
+  && Word.ule x r.Regstate.umax
+  && Tnum.contains r.Regstate.var_off x
+
+(* Generate an abstract scalar together with one of its members. *)
+let gen_abstract : (Regstate.t * int64) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let concrete =
+    oneof
+      [ map Int64.of_int (int_range (-1000) 1000);
+        oneofl Rng.interesting_int64;
+        map Int64.of_int int ]
+  in
+  let* x = concrete in
+  let* shape = int_range 0 3 in
+  match shape with
+  | 0 -> return (Regstate.const_scalar x, x)
+  | 1 ->
+    (* an unsigned interval around x *)
+    let* above = map Int64.of_int (int_range 0 4096) in
+    let* below = map Int64.of_int (int_range 0 4096) in
+    let lo = if Word.ult x below then 0L else Int64.sub x below in
+    let hi =
+      if Word.ult (Int64.add x above) x then -1L else Int64.add x above
+    in
+    return (Regstate.scalar_range ~umin:lo ~umax:hi, x)
+  | 2 ->
+    (* tnum knowledge: some bits of x known *)
+    let* mask = map Int64.of_int (int_range 0 0xFFFFFF) in
+    let t = { Tnum.value = Int64.logand x (Int64.lognot mask); mask } in
+    return (Regstate.scalar_of_tnum t, x)
+  | _ -> return (Regstate.unknown_scalar, x)
+
+let alu_ops =
+  [ (Insn.Add, Int64.add);
+    (Insn.Sub, fun a b -> Int64.sub a b);
+    (Insn.Mul, fun a b -> Int64.mul a b);
+    (Insn.Div, Word.udiv);
+    (Insn.Mod, Word.umod);
+    (Insn.Or, Int64.logor);
+    (Insn.And, Int64.logand);
+    (Insn.Xor, Int64.logxor);
+    (Insn.Lsh, Word.shl64);
+    (Insn.Rsh, Word.shr64);
+    (Insn.Arsh, Word.ashr64);
+    (Insn.Mov, fun _ b -> b) ]
+
+let alu64_abstract_sound =
+  QCheck2.Test.make ~count:3000 ~name:"alu64 transfer functions sound"
+    QCheck2.Gen.(triple (int_range 0 11) gen_abstract gen_abstract)
+    (fun (opi, (ra, a), (rb, b)) ->
+       let op, concrete = List.nth alu_ops opi in
+       let abstract = Check_alu.scalar_op64 op ra rb in
+       let result = concrete a b in
+       if member abstract result then true
+       else
+         QCheck2.Test.fail_reportf
+           "%s: %Ld op %Ld = %Ld not in %s (from %s, %s)"
+           (Insn.alu_op_to_string op) a b result
+           (Regstate.to_string abstract)
+           (Regstate.to_string ra) (Regstate.to_string rb))
+
+let alu32_abstract_sound =
+  QCheck2.Test.make ~count:3000 ~name:"alu32 transfer functions sound"
+    QCheck2.Gen.(triple (int_range 0 11) gen_abstract gen_abstract)
+    (fun (opi, (ra, a), (rb, b)) ->
+       let op, concrete = List.nth alu_ops opi in
+       (* concrete 32-bit semantics: low words, zero-extended *)
+       let result =
+         match op with
+         | Insn.Lsh -> Word.shl32 a b
+         | Insn.Rsh -> Word.shr32 (Word.to_u32 a) b
+         | Insn.Arsh -> Word.ashr32 a b
+         | Insn.Div -> Word.to_u32 (Word.udiv (Word.to_u32 a) (Word.to_u32 b))
+         | Insn.Mod -> Word.to_u32 (Word.umod (Word.to_u32 a) (Word.to_u32 b))
+         | _ -> Word.to_u32 (concrete (Word.to_u32 a) (Word.to_u32 b))
+       in
+       let abstract = Check_alu.scalar_op32 op ra rb in
+       if member abstract result then true
+       else
+         QCheck2.Test.fail_reportf
+           "w%s: %Ld op %Ld = %Ld not in %s"
+           (Insn.alu_op_to_string op) a b result
+           (Regstate.to_string abstract))
+
+let neg_abstract_sound =
+  QCheck2.Test.make ~count:1000 ~name:"neg transfer function sound"
+    gen_abstract
+    (fun (r, x) ->
+       member (Check_alu.scalar_op64 Insn.Neg r r) (Int64.neg x))
+
+(* sync never drops members *)
+let sync_preserves_members =
+  QCheck2.Test.make ~count:2000 ~name:"bounds sync preserves members"
+    gen_abstract
+    (fun (r, x) -> member (Regstate.sync r) x)
+
+(* truncate32 contains the zero-extended member *)
+let truncate_sound =
+  QCheck2.Test.make ~count:2000 ~name:"truncate32 sound"
+    gen_abstract
+    (fun (r, x) -> member (Regstate.truncate32 r) (Word.to_u32 x))
+
+(* -- End-to-end oracle soundness ------------------------------------------- *)
+
+(* Structured programs accepted by the FIXED verifier never raise a
+   report at runtime: the foundation of "any report from an accepted
+   program is a verifier bug". *)
+let oracle_soundness =
+  QCheck2.Test.make ~count:400 ~name:"fixed kernel: accepted => clean run"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+       let session = Loader.create (Kconfig.fixed Version.Bpf_next) in
+       let maps = Campaign.standard_maps session in
+       let cfg = { Gen.c_version = Version.Bpf_next; Gen.c_maps = maps } in
+       let rng = Rng.create seed in
+       let req = Gen.generate rng cfg in
+       match Loader.load_and_run session req with
+       | { Loader.verdict = Error _; _ } -> true (* rejected: vacuous *)
+       | { Loader.verdict = Ok _; reports = []; _ } -> true
+       | { Loader.verdict = Ok _; reports; _ } ->
+         QCheck2.Test.fail_reportf
+           "accepted program raised: %s\n%s"
+           (String.concat "; "
+              (List.map Bvf_kernel.Report.to_string reports))
+           (Bvf_ebpf.Disasm.prog_to_string req.Verifier.r_insns))
+
+(* The mirror property for mutants: whatever mutation does, the fixed
+   kernel never lets a report-raising program through. *)
+let oracle_soundness_mutants =
+  QCheck2.Test.make ~count:300 ~name:"fixed kernel: mutants too"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+       let session = Loader.create (Kconfig.fixed Version.Bpf_next) in
+       let maps = Campaign.standard_maps session in
+       let cfg = { Gen.c_version = Version.Bpf_next; Gen.c_maps = maps } in
+       let rng = Rng.create seed in
+       let req = Gen.generate rng cfg in
+       let req = Bvf_core.Mutate.mutate_request rng ~version:Version.Bpf_next req in
+       match Loader.load_and_run session req with
+       | { Loader.verdict = Error _; _ } -> true
+       | { Loader.verdict = Ok _; reports = []; _ } -> true
+       | { Loader.verdict = Ok _; reports; _ } ->
+         QCheck2.Test.fail_reportf "mutant raised: %s"
+           (String.concat "; "
+              (List.map Bvf_kernel.Report.to_string reports)))
+
+(* Decode of an encode of an accepted program is accepted with the same
+   verdict: the wire format round-trip composes with verification. *)
+let encode_verify_consistent =
+  QCheck2.Test.make ~count:200 ~name:"encode/decode preserves verdict"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+       let session = Loader.create (Kconfig.fixed Version.Bpf_next) in
+       let maps = Campaign.standard_maps session in
+       let cfg = { Gen.c_version = Version.Bpf_next; Gen.c_maps = maps } in
+       let rng = Rng.create seed in
+       let req = Gen.generate rng cfg in
+       let cov = Bvf_verifier.Coverage.create () in
+       let direct = Verifier.verify session.Loader.kst ~cov req in
+       match Bvf_ebpf.Encode.decode (Bvf_ebpf.Encode.encode req.Verifier.r_insns) with
+       | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e.Bvf_ebpf.Encode.reason
+       | Ok insns ->
+         let roundtrip =
+           Verifier.verify session.Loader.kst ~cov
+             { req with Verifier.r_insns = insns }
+         in
+         Result.is_ok direct = Result.is_ok roundtrip)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bvf_soundness"
+    [
+      ( "abstract domain",
+        [ qt alu64_abstract_sound; qt alu32_abstract_sound;
+          qt neg_abstract_sound; qt sync_preserves_members;
+          qt truncate_sound ] );
+      ( "oracle",
+        [ qt oracle_soundness; qt oracle_soundness_mutants;
+          qt encode_verify_consistent ] );
+    ]
