@@ -10,6 +10,8 @@
 module Version = Bvf_ebpf.Version
 module Disasm = Bvf_ebpf.Disasm
 module Kconfig = Bvf_kernel.Kconfig
+module Failslab = Bvf_kernel.Failslab
+module Checkpoint = Bvf_core.Checkpoint
 module Verifier = Bvf_verifier.Verifier
 module Loader = Bvf_runtime.Loader
 module Campaign = Bvf_core.Campaign
@@ -67,8 +69,40 @@ let unprivileged_t =
        & info [ "unprivileged" ]
          ~doc:"Load programs without CAP_BPF: stricter verifier checks.")
 
+let failslab_t =
+  Arg.(value & opt float 0.0
+       & info [ "failslab" ] ~docv:"RATE"
+         ~doc:"Inject allocation failures (failslab-style) into the \
+               simulated kernel with this probability in [0,1].")
+
+let failslab_seed_t =
+  Arg.(value & opt (some int) None
+       & info [ "failslab-seed" ] ~docv:"SEED"
+         ~doc:"Seed for the fault-injection decision stream (defaults to \
+               the campaign seed).")
+
+let checkpoint_t =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"PATH"
+         ~doc:"Write campaign checkpoints to $(docv) (atomic \
+               write-then-rename).")
+
+let checkpoint_every_t =
+  Arg.(value & opt int 1000
+       & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Checkpoint (and reboot) every $(docv) completed \
+               iterations.")
+
+let resume_t =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"PATH"
+         ~doc:"Resume a campaign from a checkpoint file written by \
+               --checkpoint.")
+
 let fuzz_cmd =
-  let run version seed iterations tool no_sanitize fixed unprivileged =
+  let run version seed iterations tool no_sanitize fixed unprivileged
+      failslab_rate failslab_seed checkpoint_path checkpoint_every
+      resume_path =
     let config =
       if fixed then Kconfig.fixed version else Kconfig.default version
     in
@@ -80,12 +114,55 @@ let fuzz_cmd =
       | `Syz -> Bvf_baselines.Syz_gen.strategy
       | `Buzzer -> Bvf_baselines.Buzzer_gen.strategy ()
     in
+    let resume_from =
+      match resume_path with
+      | None -> None
+      | Some path ->
+        (match Campaign.load_checkpoint ~path with
+         | Ok s ->
+           Printf.printf "resuming from %s: %d iterations completed\n" path
+             s.Campaign.sn_completed;
+           Some s
+         | Error e ->
+           Printf.eprintf "bvf fuzz: cannot resume from %s: %s\n" path
+             (Checkpoint.error_to_string e);
+           exit 3)
+    in
+    if failslab_rate < 0.0 || failslab_rate > 1.0 then begin
+      Printf.eprintf "bvf fuzz: --failslab rate must be in [0,1]\n";
+      exit 2
+    end;
+    let failslab =
+      (* on resume the restored plan (with its stream position) wins *)
+      match resume_from with
+      | Some _ -> None
+      | None when failslab_rate > 0.0 ->
+        Some
+          (Failslab.create ~rate:failslab_rate
+             ~seed:(Option.value failslab_seed ~default:seed) ())
+      | None -> None
+    in
     Printf.printf "fuzzing %s (%d injected bugs, sanitize=%b) with %s...\n"
       (Version.to_string version)
       (List.length config.Kconfig.bugs)
       config.Kconfig.sanitize strategy.Campaign.s_name;
-    let stats = Campaign.run ~seed ~iterations strategy config in
+    let stats =
+      try
+        Campaign.run
+          ~checkpoint_every
+          ?checkpoint_path
+          ?failslab
+          ?resume_from
+          ~seed ~iterations strategy config
+      with Campaign.Environment msg ->
+        Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
+        exit 3
+    in
     Format.printf "%a" Campaign.pp_summary stats;
+    (match failslab with
+     | Some plan when Failslab.enabled plan ->
+       Format.printf "%a" Failslab.pp_summary plan
+     | Some _ | None -> ());
     let findings =
       Hashtbl.fold (fun _ f acc -> f :: acc) stats.Campaign.st_findings []
       |> List.sort (fun a b ->
@@ -99,7 +176,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign.")
     Term.(const run $ version_t $ seed_t $ iterations_t $ tool_t
-          $ no_sanitize_t $ fixed_t $ unprivileged_t)
+          $ no_sanitize_t $ fixed_t $ unprivileged_t $ failslab_t
+          $ failslab_seed_t $ checkpoint_t $ checkpoint_every_t
+          $ resume_t)
 
 (* -- repro ------------------------------------------------------------------ *)
 

@@ -8,7 +8,21 @@ open Cimport
    The driver is strategy-parametric so the same harness runs BVF and
    the Syzkaller/Buzzer baselines under identical conditions (same
    syscall surface, same coverage instrumentation) — the methodology of
-   the paper's section 6.3. *)
+   the paper's section 6.3.
+
+   Production shape: campaigns run for days, so the driver also carries
+   the robustness machinery —
+
+   - a {!Bvf_kernel.Failslab} fault plan threaded through the kernel, so
+     allocation failures are part of the tested environment; transient
+     -ENOMEM outcomes are retried (with a reboot as escalation) and
+     counted, never classified as findings;
+   - periodic checkpoints: corpus, coverage, stats, RNG and fault-plan
+     state are atomically persisted at a reboot boundary, so a killed
+     campaign resumes from disk and replays the exact continuation of
+     the uninterrupted run;
+   - the reboot-storm breaker: corpus entries implicated in consecutive
+     fatal reboots are quarantined instead of re-picked forever. *)
 
 type strategy = {
   s_name : string;
@@ -51,6 +65,9 @@ type stats = {
   mutable st_histogram : Disasm.class_histogram;
   mutable st_edges : int;
   mutable st_reboots : int;
+  mutable st_env_errors : int;  (* transient errors that survived retry *)
+  mutable st_retries : int;     (* transient errors retried away *)
+  mutable st_quarantined : int; (* corpus entries storm-quarantined *)
 }
 
 let acceptance_rate (s : stats) : float =
@@ -75,7 +92,37 @@ let correctness_bugs_found (s : stats) : Kconfig.bug list =
        | _ -> acc)
     s.st_findings []
 
-(* Standard map population for a session: one of each interesting kind. *)
+let fingerprints (s : stats) : string list =
+  Hashtbl.fold (fun key _ acc -> key :: acc) s.st_findings []
+  |> List.sort compare
+
+(* Canonical digest of everything a campaign observed: two campaigns
+   with equal digests generated the same programs and saw the same
+   outcomes.  Used by the checkpoint/resume determinism tests and handy
+   for comparing reproduction runs across machines. *)
+let digest (s : stats) : string =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d\n" s.st_tool
+    (Version.to_string s.st_version)
+    s.st_generated s.st_accepted s.st_rejected s.st_edges s.st_reboots
+    s.st_env_errors s.st_retries s.st_quarantined;
+  Hashtbl.fold (fun e n acc -> (Venv.errno_to_string e, n) :: acc)
+    s.st_errno []
+  |> List.sort compare
+  |> List.iter (fun (e, n) -> Printf.bprintf b "errno %s %d\n" e n);
+  Hashtbl.fold
+    (fun key f acc -> (key, f.fd_iteration) :: acc)
+    s.st_findings []
+  |> List.sort compare
+  |> List.iter (fun (key, it) -> Printf.bprintf b "finding %s @%d\n" key it);
+  List.iter
+    (fun sa -> Printf.bprintf b "curve %d %d\n" sa.sa_iteration sa.sa_edges)
+    s.st_curve;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Standard map population for a session: one of each interesting kind.
+   Under fault injection a creation can fail with -ENOMEM; the session
+   then simply runs with fewer maps, as a real fuzzer setup would. *)
 let standard_maps (session : Loader.t) : (int * Map.def) list =
   let defs =
     [ Map.array_def ~value_size:48 ~max_entries:4 ();
@@ -83,7 +130,10 @@ let standard_maps (session : Loader.t) : (int * Map.def) list =
       Map.hash_def ~key_size:8 ~value_size:64 ~has_spin_lock:true ();
       Map.ringbuf_def ~max_entries:4096 () ]
   in
-  List.map (fun d -> (Loader.create_map session d, d)) defs
+  List.filter_map
+    (fun d ->
+       Option.map (fun fd -> (fd, d)) (Loader.try_create_map session d))
+    defs
 
 (* A report that leaves the simulated kernel unusable. *)
 let is_fatal (r : Report.t) : bool =
@@ -94,10 +144,32 @@ let is_fatal (r : Report.t) : bool =
   | Report.Lock_violation _ | Report.Mem_fault _ | Report.Warn _
   | Report.Alu_limit _ | Report.Runaway_execution -> false
 
+(* Transient environment errors (injected allocation failures): eligible
+   for retry, never findings. *)
+let is_transient (result : Loader.run_result) : bool =
+  (match result.Loader.verdict with
+   | Error e -> Venv.errno_is_transient e.Venv.errno
+   | Ok _ -> false)
+  || (match result.Loader.status with
+      | Some s -> Exec.is_transient s
+      | None -> false)
+
+(* Retry policy for transient errors: one plain retry, then a reboot
+   (memory-pressure relief) before the final attempt. *)
+let max_transient_retries = 2
+
+(* Reboot-storm breaker: quarantine a corpus entry implicated in this
+   many consecutive fatal reboots. *)
+let quarantine_after = 3
+
+exception Environment of string
+
 type t = {
   config : Kconfig.t;
   strategy : strategy;
+  seed : int;
   rng : Rng.t;
+  failslab : Bvf_kernel.Failslab.t;
   cov : Coverage.t;
   corpus : Corpus.t;
   stats : stats;
@@ -107,16 +179,21 @@ type t = {
 }
 
 let reboot (c : t) : unit =
-  c.session <- Loader.create ~cov:c.cov c.config;
+  c.session <- Loader.create ~cov:c.cov ~failslab:c.failslab c.config;
   c.gen_config <-
     { Gen.c_version = c.config.Kconfig.version;
       c_maps = standard_maps c.session };
   c.stats.st_reboots <- c.stats.st_reboots + 1
 
-let create ?(sample_every = 64) ~(seed : int) (strategy : strategy)
-    (config : Kconfig.t) : t =
+let create ?(sample_every = 64) ?failslab ~(seed : int)
+    (strategy : strategy) (config : Kconfig.t) : t =
+  let failslab =
+    match failslab with
+    | Some f -> f
+    | None -> Bvf_kernel.Failslab.off ()
+  in
   let cov = Coverage.create () in
-  let session = Loader.create ~cov config in
+  let session = Loader.create ~cov ~failslab config in
   let gen_config =
     { Gen.c_version = config.Kconfig.version;
       c_maps = standard_maps session }
@@ -124,7 +201,9 @@ let create ?(sample_every = 64) ~(seed : int) (strategy : strategy)
   {
     config;
     strategy;
+    seed;
     rng = Rng.create seed;
+    failslab;
     cov;
     corpus = Corpus.create ();
     stats =
@@ -140,6 +219,9 @@ let create ?(sample_every = 64) ~(seed : int) (strategy : strategy)
         st_histogram = Disasm.empty_histogram;
         st_edges = 0;
         st_reboots = 0;
+        st_env_errors = 0;
+        st_retries = 0;
+        st_quarantined = 0;
       };
     session;
     gen_config;
@@ -150,9 +232,11 @@ let create ?(sample_every = 64) ~(seed : int) (strategy : strategy)
 let step (c : t) : unit =
   let stats = c.stats in
   let iteration = stats.st_generated in
-  let seed_req =
-    if c.strategy.s_feedback then Corpus.pick c.corpus c.rng else None
+  let seed_entry =
+    if c.strategy.s_feedback then Corpus.pick_entry c.corpus c.rng
+    else None
   in
+  let seed_req = Option.map (fun e -> e.Corpus.request) seed_entry in
   let req = c.strategy.s_generate c.rng c.gen_config seed_req in
   stats.st_generated <- stats.st_generated + 1;
   stats.st_histogram <-
@@ -161,7 +245,20 @@ let step (c : t) : unit =
   (* snapshot local coverage through a per-run local edge table: the
      loader records into the shared map; we measure growth *)
   let edges_before = Coverage.edge_count c.cov in
-  let result = Loader.load_and_run c.session req in
+  (* bounded retry of transient environment errors, escalating to a
+     reboot before the final attempt *)
+  let rec attempt (n : int) : Loader.run_result =
+    let result = Loader.load_and_run c.session req in
+    if is_transient result && n < max_transient_retries then begin
+      stats.st_retries <- stats.st_retries + 1;
+      if n = max_transient_retries - 1 then reboot c;
+      attempt (n + 1)
+    end
+    else result
+  in
+  let result = attempt 0 in
+  if is_transient result then
+    stats.st_env_errors <- stats.st_env_errors + 1;
   let new_edges = Coverage.edge_count c.cov - edges_before in
   (match result.Loader.verdict with
    | Ok _ -> stats.st_accepted <- stats.st_accepted + 1
@@ -185,8 +282,16 @@ let step (c : t) : unit =
          Hashtbl.replace stats.st_findings key
            { fd_finding = f; fd_iteration = iteration; fd_request = req })
     findings;
-  (* crash handling: reboot the kernel on fatal anomalies *)
-  if List.exists is_fatal result.Loader.reports then reboot c
+  (* crash handling: reboot the kernel on fatal anomalies, and run the
+     storm breaker over the corpus entry that seeded this iteration *)
+  let fatal = List.exists is_fatal result.Loader.reports in
+  (match seed_entry with
+   | Some e when fatal ->
+     if Corpus.blame c.corpus e ~quarantine_after then
+       stats.st_quarantined <- stats.st_quarantined + 1
+   | Some e -> Corpus.absolve e
+   | None -> ());
+  if fatal then reboot c
   else Bvf_kernel.Kmem.compact c.session.Loader.kst.Kstate.mem;
   if iteration mod c.sample_every = 0 then
     stats.st_curve <-
@@ -194,14 +299,133 @@ let step (c : t) : unit =
       :: stats.st_curve;
   stats.st_edges <- Coverage.edge_count c.cov
 
-let run ?(sample_every = 64) ~(seed : int) ~(iterations : int)
-    (strategy : strategy) (config : Kconfig.t) : stats =
-  let c = create ~sample_every ~seed strategy config in
+(* -- Checkpointing ----------------------------------------------------- *)
+
+(* Everything needed to continue the campaign from disk.  The simulated
+   kernel itself is deliberately absent: checkpoints are taken at a
+   reboot boundary, so a fresh kernel (built by {!resume} exactly the
+   way {!reboot} builds one) plus this record fully determines future
+   behavior. *)
+type snapshot = {
+  sn_tool : string;
+  sn_kernel : Version.t;
+  sn_seed : int;
+  sn_sanitize : bool;
+  sn_unprivileged : bool;
+  sn_completed : int;      (* iterations finished when taken *)
+  sn_rng : int64;
+  sn_failslab : Bvf_kernel.Failslab.t;
+  sn_corpus : Corpus.t;
+  sn_cov : Coverage.t;
+  sn_stats : stats;
+}
+
+let checkpoint_tag = "bvf-campaign/1"
+
+let snapshot (c : t) : snapshot =
+  {
+    sn_tool = c.strategy.s_name;
+    sn_kernel = c.config.Kconfig.version;
+    sn_seed = c.seed;
+    sn_sanitize = c.config.Kconfig.sanitize;
+    sn_unprivileged = c.config.Kconfig.unprivileged;
+    sn_completed = c.stats.st_generated;
+    sn_rng = Rng.state c.rng;
+    sn_failslab = c.failslab;
+    sn_corpus = c.corpus;
+    sn_cov = c.cov;
+    sn_stats = c.stats;
+  }
+
+let save_checkpoint (c : t) ~(path : string) :
+  (unit, Checkpoint.error) result =
+  Checkpoint.save ~path ~tag:checkpoint_tag (snapshot c)
+
+let load_checkpoint ~(path : string) :
+  (snapshot, Checkpoint.error) result =
+  (Checkpoint.load ~path ~tag:checkpoint_tag
+   : (snapshot, Checkpoint.error) result)
+
+(* Rebuild a running campaign from a snapshot.  Creating the fresh
+   session here mirrors the {!reboot} the uninterrupted campaign
+   performs right after taking the checkpoint — including the fault-plan
+   draws its map setup consumes — so the resumed campaign replays the
+   exact continuation of the uninterrupted one. *)
+let resume ?(sample_every = 64) (strategy : strategy) (config : Kconfig.t)
+    (s : snapshot) : t =
+  if s.sn_tool <> strategy.s_name then
+    raise
+      (Environment
+         (Printf.sprintf "checkpoint was taken by tool %s, not %s"
+            s.sn_tool strategy.s_name));
+  if s.sn_kernel <> config.Kconfig.version then
+    raise
+      (Environment
+         (Printf.sprintf "checkpoint targets kernel %s, not %s"
+            (Version.to_string s.sn_kernel)
+            (Version.to_string config.Kconfig.version)));
+  if s.sn_sanitize <> config.Kconfig.sanitize
+     || s.sn_unprivileged <> config.Kconfig.unprivileged then
+    raise (Environment "checkpoint was taken under a different config");
+  let session = Loader.create ~cov:s.sn_cov ~failslab:s.sn_failslab config in
+  let gen_config =
+    { Gen.c_version = config.Kconfig.version;
+      c_maps = standard_maps session }
+  in
+  s.sn_stats.st_reboots <- s.sn_stats.st_reboots + 1;
+  {
+    config;
+    strategy;
+    seed = s.sn_seed;
+    rng = Rng.of_state s.sn_rng;
+    failslab = s.sn_failslab;
+    cov = s.sn_cov;
+    corpus = s.sn_corpus;
+    stats = s.sn_stats;
+    session;
+    gen_config;
+    sample_every;
+  }
+
+(* -- Driving ----------------------------------------------------------- *)
+
+let run ?(sample_every = 64) ?checkpoint_every ?checkpoint_path ?failslab
+    ?resume_from ~(seed : int) ~(iterations : int) (strategy : strategy)
+    (config : Kconfig.t) : stats =
+  let c =
+    match resume_from with
+    | Some s -> resume ~sample_every strategy config s
+    | None -> create ~sample_every ?failslab ~seed strategy config
+  in
+  (* A checkpoint is a barrier: write the snapshot, then reboot, so the
+     file plus a fresh kernel fully determines the continuation.  The
+     barrier cadence is absolute (st_generated), so a resumed campaign
+     hits the same barriers the uninterrupted one does. *)
+  let at_barrier () =
+    match checkpoint_every with
+    | Some n when n > 0 -> c.stats.st_generated mod n = 0
+    | Some _ | None -> false
+  in
   for _ = 1 to iterations do
-    step c
+    step c;
+    if at_barrier () then begin
+      (match checkpoint_path with
+       | Some path -> begin
+           match save_checkpoint c ~path with
+           | Ok () -> ()
+           | Error e ->
+             raise
+               (Environment
+                  ("checkpoint write failed: "
+                   ^ Checkpoint.error_to_string e))
+         end
+       | None -> ());
+      reboot c
+    end
   done;
   c.stats.st_curve <-
-    { sa_iteration = iterations; sa_edges = Coverage.edge_count c.cov }
+    { sa_iteration = c.stats.st_generated;
+      sa_edges = Coverage.edge_count c.cov }
     :: c.stats.st_curve;
   c.stats
 
@@ -216,4 +440,8 @@ let pp_summary fmt (s : stats) : unit =
     (Hashtbl.length s.st_findings)
     (List.length (bugs_found s))
     (List.length (correctness_bugs_found s))
-    s.st_reboots
+    s.st_reboots;
+  if s.st_env_errors > 0 || s.st_retries > 0 || s.st_quarantined > 0 then
+    Format.fprintf fmt
+      "  environment: %d transient errors (%d retried away), %d corpus entries quarantined@."
+      s.st_env_errors s.st_retries s.st_quarantined

@@ -5,7 +5,14 @@
     reboots, a corpus of coverage-increasing inputs, and the dedup table
     of findings.  The driver is strategy-parametric, so the same harness
     runs BVF and the Syzkaller/Buzzer baselines under identical
-    conditions (section 6.3's methodology). *)
+    conditions (section 6.3's methodology).
+
+    Campaigns are built to run for days: a {!Bvf_kernel.Failslab} fault
+    plan can be threaded through the simulated kernel (transient
+    [-ENOMEM] outcomes are retried and counted, never reported as
+    findings), progress is periodically checkpointed to disk and can be
+    {!resume}d after a crash or kill, and corpus entries implicated in
+    consecutive fatal reboots are quarantined. *)
 
 (** A pluggable generation strategy. *)
 type strategy = {
@@ -41,25 +48,54 @@ type stats = {
   mutable st_histogram : Bvf_ebpf.Disasm.class_histogram;
   mutable st_edges : int;
   mutable st_reboots : int;
+  mutable st_env_errors : int;
+      (** transient environment errors that survived retry *)
+  mutable st_retries : int;
+      (** transient environment errors retried away *)
+  mutable st_quarantined : int;
+      (** corpus entries quarantined by the reboot-storm breaker *)
 }
 
 val acceptance_rate : stats -> float
 val bugs_found : stats -> Bvf_kernel.Kconfig.bug list
 val correctness_bugs_found : stats -> Bvf_kernel.Kconfig.bug list
 
+val fingerprints : stats -> string list
+(** Sorted deduplication keys (fingerprint plus attributed bug) of every
+    finding — a campaign's findings identity. *)
+
+val digest : stats -> string
+(** Canonical hex digest of everything the campaign observed: counters,
+    errno distribution, findings (with discovery iterations) and the
+    coverage curve.  Two campaigns with equal digests generated the same
+    programs and saw the same outcomes. *)
+
 val standard_maps :
   Bvf_runtime.Loader.t -> (int * Bvf_kernel.Map.def) list
 (** The session's standard map population: array, hash, spin-lock hash
-    and ring buffer. *)
+    and ring buffer.  Under fault injection some creations may fail;
+    the session then runs with fewer maps. *)
 
 val is_fatal : Bvf_kernel.Report.t -> bool
 (** Reports that leave the simulated kernel unusable (reboot). *)
+
+val is_transient : Bvf_runtime.Loader.run_result -> bool
+(** Transient environment errors — injected allocation failures showing
+    up as [-ENOMEM] at load or run time.  Eligible for retry, never
+    findings. *)
+
+exception Environment of string
+(** The campaign cannot continue for environmental reasons (checkpoint
+    write failure, resume against a mismatched config).  Distinct from
+    any finding: callers should report it and exit nonzero. *)
 
 (** A running campaign. *)
 type t = {
   config : Bvf_kernel.Kconfig.t;
   strategy : strategy;
+  seed : int;
   rng : Rng.t;
+  failslab : Bvf_kernel.Failslab.t;
   cov : Bvf_verifier.Coverage.t;
   corpus : Corpus.t;
   stats : stats;
@@ -71,13 +107,57 @@ type t = {
 val reboot : t -> unit
 
 val create :
-  ?sample_every:int -> seed:int -> strategy -> Bvf_kernel.Kconfig.t -> t
+  ?sample_every:int -> ?failslab:Bvf_kernel.Failslab.t -> seed:int ->
+  strategy -> Bvf_kernel.Kconfig.t -> t
 
 val step : t -> unit
-(** One fuzzing iteration: generate (or mutate), load, run, classify. *)
+(** One fuzzing iteration: generate (or mutate), load, run, classify.
+    Transient environment errors are retried (a plain retry, then a
+    reboot before the final attempt); fatal reports reboot the kernel
+    and feed the reboot-storm breaker. *)
+
+(** {1 Checkpointing}
+
+    Everything needed to continue a campaign from disk.  The simulated
+    kernel itself is deliberately absent: checkpoints are taken at a
+    reboot boundary, so a fresh kernel plus the snapshot fully
+    determines future behavior — a resumed campaign replays the exact
+    continuation of the uninterrupted one. *)
+
+type snapshot = {
+  sn_tool : string;
+  sn_kernel : Bvf_ebpf.Version.t;
+  sn_seed : int;
+  sn_sanitize : bool;
+  sn_unprivileged : bool;
+  sn_completed : int; (** iterations finished when taken *)
+  sn_rng : int64;
+  sn_failslab : Bvf_kernel.Failslab.t;
+  sn_corpus : Corpus.t;
+  sn_cov : Bvf_verifier.Coverage.t;
+  sn_stats : stats;
+}
+
+val snapshot : t -> snapshot
+
+val save_checkpoint : t -> path:string -> (unit, Checkpoint.error) result
+
+val load_checkpoint : path:string -> (snapshot, Checkpoint.error) result
+
+val resume :
+  ?sample_every:int -> strategy -> Bvf_kernel.Kconfig.t -> snapshot -> t
+(** Rebuild a running campaign from a snapshot.
+    @raise Environment when the snapshot was taken by a different tool,
+    kernel version, or config. *)
 
 val run :
-  ?sample_every:int -> seed:int -> iterations:int -> strategy ->
-  Bvf_kernel.Kconfig.t -> stats
+  ?sample_every:int -> ?checkpoint_every:int -> ?checkpoint_path:string ->
+  ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot -> seed:int ->
+  iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> stats
+(** Drive [iterations] steps.  Every [checkpoint_every] completed
+    iterations (absolute count, so resumed runs hit the same barriers)
+    the campaign writes a checkpoint to [checkpoint_path] (if given) and
+    reboots the kernel — the barrier that makes resume deterministic.
+    @raise Environment on checkpoint write failure. *)
 
 val pp_summary : Format.formatter -> stats -> unit

@@ -1,17 +1,25 @@
 (** Coverage-guided corpus: programs that exercised new verifier
     branches are preserved and serve as mutation seeds, mirroring the
-    Syzkaller feedback loop BVF reuses (paper section 5). *)
+    Syzkaller feedback loop BVF reuses (paper section 5).
+
+    Also implements the reboot-storm breaker: entries implicated in
+    enough {e consecutive} fatal kernel reboots are quarantined (removed
+    from the pick pool) instead of being re-picked forever. *)
 
 type entry = {
   request : Bvf_verifier.Verifier.request;
   new_edges : int;
   added_at : int;
+  mutable blamed : int; (** consecutive fatal reboots implicated in *)
 }
 
 type t
 
 val create : ?max_size:int -> unit -> t
 val size : t -> int
+
+val quarantined : t -> int
+(** Entries removed by the reboot-storm breaker so far. *)
 
 val add :
   t -> iteration:int -> new_edges:int -> Bvf_verifier.Verifier.request ->
@@ -22,3 +30,16 @@ val add :
 val pick : t -> Rng.t -> Bvf_verifier.Verifier.request option
 (** Weighted towards entries that contributed more edges, with a recency
     bonus. *)
+
+val pick_entry : t -> Rng.t -> entry option
+(** Like {!pick} but returns the entry itself, so the campaign can
+    {!blame} or {!absolve} it after observing the run's outcome. *)
+
+val blame : t -> entry -> quarantine_after:int -> bool
+(** Record that a run seeded from the entry ended in a fatal reboot.
+    After [quarantine_after] consecutive implications the entry is
+    quarantined; returns true when that happened. *)
+
+val absolve : entry -> unit
+(** The entry's latest run completed without a fatal reboot: reset its
+    blame counter. *)

@@ -5,6 +5,13 @@ type t = { mutable state : int64 }
 
 let create (seed : int) : t = { state = Int64.of_int (seed * 2654435761 + 1) }
 
+(* Snapshot/restore of the stream position: the entire generator state
+   is one int64, so checkpointing a campaign (or replaying a test from a
+   known position) is a single word. *)
+let state (t : t) : int64 = t.state
+
+let of_state (s : int64) : t = { state = s }
+
 let next (t : t) : int64 =
   t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
   let z = t.state in

@@ -6,6 +6,13 @@ type t
 val create : int -> t
 val next : t -> int64
 
+val state : t -> int64
+(** Snapshot of the stream position (the whole generator state). *)
+
+val of_state : int64 -> t
+(** Resume a stream from a {!state} snapshot: the restored generator
+    produces exactly the continuation of the snapshotted one. *)
+
 val int : t -> int -> int
 (** Uniform in [\[0, n)].  @raise Invalid_argument when [n <= 0]. *)
 

@@ -17,6 +17,7 @@ type env = {
 let no_env = { pkt = None }
 
 let enoent = -2L
+let enomem = -12L
 let efault = -14L
 let einval = -22L
 let eperm = -1L
@@ -132,11 +133,15 @@ let call (k : Kstate.t) (env : env) ~(pc : int) (h : Helper.t)
               with
               | None -> efault
               | Some value -> begin
-                  match Map.update k.Kstate.mem m ~key ~value with
+                  match
+                    Map.update ~failslab:k.Kstate.failslab k.Kstate.mem m
+                      ~key ~value
+                  with
                   | Ok () -> 0L
                   | Error Map.E_no_space -> -7L (* E2BIG *)
                   | Error Map.E_no_such_key -> enoent
                   | Error (Map.E_bad_op _) -> einval
+                  | Error Map.E_nomem -> enomem
                 end
             end
         end
@@ -162,7 +167,8 @@ let call (k : Kstate.t) (env : env) ~(pc : int) (h : Helper.t)
              | Ok () -> 0L
              | Error Map.E_no_such_key -> enoent
              | Error Map.E_no_space -> -7L
-             | Error (Map.E_bad_op _) -> einval)
+             | Error (Map.E_bad_op _) -> einval
+             | Error Map.E_nomem -> enomem)
         end
     end
   | "ktime_get_ns" | "ktime_get_boot_ns" -> Kstate.ktime k
@@ -289,7 +295,8 @@ let call (k : Kstate.t) (env : env) ~(pc : int) (h : Helper.t)
       | None -> 0L
       | Some m -> begin
           match
-            Map.ringbuf_reserve k.Kstate.mem m ~size:(Int64.to_int (a 2))
+            Map.ringbuf_reserve ~failslab:k.Kstate.failslab k.Kstate.mem m
+              ~size:(Int64.to_int (a 2))
           with
           | Some addr -> addr
           | None -> 0L

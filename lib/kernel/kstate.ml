@@ -6,12 +6,15 @@
 type t = {
   config : Kconfig.t;
   mem : Kmem.t;
+  failslab : Failslab.t;  (* fault plan; owned by the campaign, so it
+                             survives reboots of this instance *)
   lockdep : Lockdep.t;
   dispatcher : Dispatcher.t;
   mutable maps : (int * Map.t) list;          (* fd -> map *)
   mutable map_addrs : (int64 * Map.t) list;   (* kernel address -> map *)
   mutable next_fd : int;
   mutable next_map_id : int;
+  mutable next_prog_id : int;
   mutable btf_regions : (int * Kmem.region) list; (* btf id -> object *)
   mutable reports : Report.t list;
   mutable time_ns : int64;
@@ -28,7 +31,10 @@ type t = {
   mutable exec_pool : Kmem.region list;
 }
 
-let create (config : Kconfig.t) : t =
+let create ?failslab (config : Kconfig.t) : t =
+  let failslab =
+    match failslab with Some f -> f | None -> Failslab.off ()
+  in
   let mem = Kmem.create () in
   let btf_regions =
     List.filter_map
@@ -44,12 +50,14 @@ let create (config : Kconfig.t) : t =
   {
     config;
     mem;
+    failslab;
     lockdep = Lockdep.create ();
     dispatcher = Dispatcher.create ();
     maps = [];
     map_addrs = [];
     next_fd = 3;
     next_map_id = 1;
+    next_prog_id = 1;
     btf_regions;
     reports = [];
     time_ns = 1_000_000L;
@@ -72,6 +80,21 @@ let pool_take (t : t) ~(kind : Kmem.kind) ~(size : int) : Kmem.region =
     Bytes.fill r.Kmem.data 0 size '\000';
     r
   | None -> Kmem.alloc t.mem ~kind ~size
+
+(* Fallible variant: the fault plan is consulted only on the slab path
+   (a pool hit reuses live memory, which cannot fail), mirroring how
+   failslab hooks kmem_cache_alloc and not object reuse. *)
+let try_pool_take (t : t) ~(site : string) ~(kind : Kmem.kind)
+    ~(size : int) : Kmem.region option =
+  let matches (r : Kmem.region) = r.Kmem.rkind = kind && r.Kmem.size = size in
+  match List.find_opt matches t.exec_pool with
+  | Some r ->
+    t.exec_pool <- List.filter (fun x -> x != r) t.exec_pool;
+    Bytes.fill r.Kmem.data 0 size '\000';
+    Some r
+  | None ->
+    if Failslab.should_fail t.failslab ~site then None
+    else Some (Kmem.alloc t.mem ~kind ~size)
 
 let pool_return (t : t) (r : Kmem.region) : unit =
   if List.length t.exec_pool < 16 then t.exec_pool <- r :: t.exec_pool
@@ -104,6 +127,12 @@ let map_create (t : t) (def : Map.def) : int =
   t.maps <- (fd, map) :: t.maps;
   t.map_addrs <- (obj.Kmem.base, map) :: t.map_addrs;
   fd
+
+(* Fallible map creation: with a fault plan armed, the backing
+   allocation can fail and the syscall surfaces -ENOMEM (None). *)
+let try_map_create (t : t) (def : Map.def) : int option =
+  if Failslab.should_fail t.failslab ~site:"map_create" then None
+  else Some (map_create t def)
 
 let map_of_fd (t : t) (fd : int) : Map.t option = List.assoc_opt fd t.maps
 

@@ -6,12 +6,16 @@
 type t = {
   config : Kconfig.t;
   mem : Kmem.t;
+  failslab : Failslab.t;
+      (** fault-injection plan; owned by the campaign so the decision
+          stream survives reboots of this instance *)
   lockdep : Lockdep.t;
   dispatcher : Dispatcher.t;
   mutable maps : (int * Map.t) list;          (** fd -> map *)
   mutable map_addrs : (int64 * Map.t) list;   (** kernel address -> map *)
   mutable next_fd : int;
   mutable next_map_id : int;
+  mutable next_prog_id : int;
   mutable btf_regions : (int * Kmem.region) list;
   mutable reports : Report.t list;
   mutable time_ns : int64;
@@ -27,7 +31,8 @@ type t = {
       (** per-cpu execution scratch reused across runs *)
 }
 
-val create : Kconfig.t -> t
+val create : ?failslab:Failslab.t -> Kconfig.t -> t
+(** A fresh instance.  [failslab] defaults to a disabled plan. *)
 
 val has_bug : t -> Kconfig.bug -> bool
 
@@ -38,11 +43,20 @@ val peek_reports : t -> Report.t list
 val pool_take : t -> kind:Kmem.kind -> size:int -> Kmem.region
 (** Borrow a zeroed scratch region from the pool (or allocate one). *)
 
+val try_pool_take :
+  t -> site:string -> kind:Kmem.kind -> size:int -> Kmem.region option
+(** Like {!pool_take}, but the fault plan is consulted on the slab path
+    (pool hits reuse live memory and cannot fail). *)
+
 val pool_return : t -> Kmem.region -> unit
 
 val map_create : t -> Map.def -> int
 (** Create a map; returns its fd.  Each map also gets a small
     [struct bpf_map] object whose address LD_IMM64 fixups resolve to. *)
+
+val try_map_create : t -> Map.def -> int option
+(** Fallible {!map_create}: [None] when the fault plan fails the
+    backing allocation (the syscall's -ENOMEM). *)
 
 val map_of_fd : t -> int -> Map.t option
 val map_addr : t -> int -> int64 option

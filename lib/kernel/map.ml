@@ -61,11 +61,13 @@ type error =
   | E_no_space
   | E_no_such_key
   | E_bad_op of string
+  | E_nomem (* injected allocation failure (failslab) *)
 
 let error_to_string = function
   | E_no_space -> "E2BIG: map full"
   | E_no_such_key -> "ENOENT: no such key"
   | E_bad_op s -> Printf.sprintf "EINVAL: %s" s
+  | E_nomem -> "ENOMEM: allocation failed"
 
 let create (mem : Kmem.t) ~(id : int) (def : def) : t =
   let backing =
@@ -110,8 +112,14 @@ let entry_count (t : t) : int =
   | Hash_backing h -> Hashtbl.length h.elems
   | Ringbuf_backing r -> List.length r.live_chunks
 
-let update (mem : Kmem.t) (t : t) ~(key : Bytes.t) ~(value : Bytes.t) :
-  (unit, error) result =
+let update ?failslab (mem : Kmem.t) (t : t) ~(key : Bytes.t)
+    ~(value : Bytes.t) : (unit, error) result =
+  (* inserting a fresh hash element allocates; in-place updates do not *)
+  let elem_alloc_fails () =
+    match failslab with
+    | Some plan -> Failslab.should_fail plan ~site:"htab_elem_alloc"
+    | None -> false
+  in
   match t.backing with
   | Array_backing region ->
     let idx = Int64.to_int (Word.get_le key 0 4) in
@@ -130,6 +138,7 @@ let update (mem : Kmem.t) (t : t) ~(key : Bytes.t) ~(value : Bytes.t) :
        Ok ()
      | Some _ | None ->
        if Hashtbl.length h.elems >= t.def.max_entries then Error E_no_space
+       else if elem_alloc_fails () then Error E_nomem
        else begin
          let region =
            Kmem.alloc mem ~kind:(Kmem.Map_elem t.id) ~size:t.def.value_size
@@ -174,10 +183,16 @@ let delete ?(bug9 = false) (mem : Kmem.t) (t : t) ~(key : Bytes.t) :
      | Some _ | None -> (Error E_no_such_key, fault))
   | Ringbuf_backing _ -> (Error (E_bad_op "delete on ringbuf"), None)
 
-let ringbuf_reserve (mem : Kmem.t) (t : t) ~(size : int) : int64 option =
+let ringbuf_reserve ?failslab (mem : Kmem.t) (t : t) ~(size : int) :
+  int64 option =
   match t.backing with
   | Ringbuf_backing r ->
     if size <= 0 || size > t.def.max_entries then None
+    else if
+      (match failslab with
+       | Some plan -> Failslab.should_fail plan ~site:"ringbuf_reserve"
+       | None -> false)
+    then None (* the program sees NULL, as a real reserve failure *)
     else begin
       let chunk = Kmem.alloc mem ~kind:(Kmem.Ringbuf_chunk t.id) ~size in
       r.live_chunks <- chunk :: r.live_chunks;

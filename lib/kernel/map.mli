@@ -43,7 +43,11 @@ and backing =
     }
   | Ringbuf_backing of { mutable live_chunks : Kmem.region list }
 
-type error = E_no_space | E_no_such_key | E_bad_op of string
+type error =
+  | E_no_space
+  | E_no_such_key
+  | E_bad_op of string
+  | E_nomem  (** injected allocation failure (failslab) *)
 
 val error_to_string : error -> string
 
@@ -54,8 +58,11 @@ val lookup : t -> key:Bytes.t -> int64 option
 
 val entry_count : t -> int
 
-val update : Kmem.t -> t -> key:Bytes.t -> value:Bytes.t ->
-  (unit, error) result
+val update : ?failslab:Failslab.t -> Kmem.t -> t -> key:Bytes.t ->
+  value:Bytes.t -> (unit, error) result
+(** Insert or update.  With a fault plan, inserting a fresh hash
+    element (an allocation) can fail with [E_nomem]; in-place updates
+    never allocate and never fail. *)
 
 val delete : ?bug9:bool -> Kmem.t -> t -> key:Bytes.t ->
   (unit, error) result * Kmem.fault option
@@ -63,7 +70,11 @@ val delete : ?bug9:bool -> Kmem.t -> t -> key:Bytes.t ->
     [bug9], the contended bucket path returns the internal KASAN fault
     for the caller to surface as indicator #2. *)
 
-val ringbuf_reserve : Kmem.t -> t -> size:int -> int64 option
+val ringbuf_reserve :
+  ?failslab:Failslab.t -> Kmem.t -> t -> size:int -> int64 option
+(** Reserve a chunk; [None] on bad size or an injected allocation
+    failure — either way the program sees NULL and must handle it. *)
+
 val ringbuf_release : Kmem.t -> t -> addr:int64 -> bool
 
 val end_of_execution : Kmem.t -> t -> unit

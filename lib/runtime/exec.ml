@@ -24,6 +24,13 @@ type result = {
   reports : Report.t list; (* new reports produced by this run *)
 }
 
+(* Environment errors that model transient resource exhaustion (injected
+   allocation failures): a campaign may retry these. *)
+let is_transient (s : status) : bool =
+  match s with
+  | Error msg -> String.length msg >= 6 && String.sub msg 0 6 = "ENOMEM"
+  | Finished _ | Aborted -> false
+
 let fuel_limit = 65_536
 
 (* Deterministic packet contents. *)
@@ -263,7 +270,7 @@ let exec_atomic (e : env) ~(pc : int) (a : Insn.t) : bool =
   | _ -> invalid_arg "exec_atomic"
 
 let exec_call (e : env) ~(pc : int) (target : Insn.call_target) :
-  [ `Continue | `Stop | `Enter of int ] =
+  [ `Continue | `Stop | `Enter of int | `Env of string ] =
   match target with
   | Insn.Helper id -> begin
       match Helper.find id with
@@ -309,16 +316,24 @@ let exec_call (e : env) ~(pc : int) (target : Insn.call_target) :
     end
   | Insn.Local off ->
     (* save callee-saved registers and the frame pointer, switch to a
-       fresh stack *)
-    let saved = Array.init 5 (fun i -> e.regs.(i + 6)) in
-    let stack =
-      Kmem.alloc e.kst.Kstate.mem
-        ~kind:(Kmem.Stack (List.length e.call_stack + 1))
-        ~size:Prog.stack_size
-    in
-    e.call_stack <- (pc + 1, saved, stack) :: e.call_stack;
-    e.regs.(10) <- Int64.add stack.Kmem.base (Int64.of_int Prog.stack_size);
-    `Enter (pc + 1 + off)
+       fresh stack.  The frame allocation can fail under fault
+       injection: a clean environment error, not a bug. *)
+    if
+      Bvf_kernel.Failslab.should_fail e.kst.Kstate.failslab
+        ~site:"bpf2bpf_stack"
+    then `Env "ENOMEM: bpf2bpf stack frame allocation failed"
+    else begin
+      let saved = Array.init 5 (fun i -> e.regs.(i + 6)) in
+      let stack =
+        Kmem.alloc e.kst.Kstate.mem
+          ~kind:(Kmem.Stack (List.length e.call_stack + 1))
+          ~size:Prog.stack_size
+      in
+      e.call_stack <- (pc + 1, saved, stack) :: e.call_stack;
+      e.regs.(10) <-
+        Int64.add stack.Kmem.base (Int64.of_int Prog.stack_size);
+      `Enter (pc + 1 + off)
+    end
 
 (* Run the program to completion. *)
 let run_loop (e : env) : status =
@@ -385,6 +400,7 @@ let run_loop (e : env) : status =
           match exec_call e ~pc target with
           | `Continue -> advance ()
           | `Stop -> Aborted
+          | `Env msg -> Error msg
           | `Enter target_pc ->
             e.pc <- target_pc;
             step ()
@@ -431,20 +447,40 @@ let run (kst : Kstate.t) ~(run_attached : string -> unit)
     let baseline = List.length (Kstate.peek_reports kst) in
     let mem = kst.Kstate.mem in
     let layout = Prog.ctx_layout prog.Verifier.l_prog_type in
-    let stack =
-      Kstate.pool_take kst ~kind:(Kmem.Stack 0) ~size:Prog.stack_size
+    (* per-run scratch: any allocation may fail under fault injection,
+       in which case the run never starts — a clean environment error *)
+    let enomem taken what =
+      List.iter (Kstate.pool_return kst) taken;
+      { status =
+          Error (Printf.sprintf "ENOMEM: %s allocation failed" what);
+        insns_executed = 0; reports = [] }
     in
-    let ctx_region =
-      Kstate.pool_take kst ~kind:Kmem.Ctx ~size:layout.Prog.ctx_size
-    in
-    let pkt_region =
-      if Prog.has_packet_access prog.Verifier.l_prog_type then begin
-        let p = Kstate.pool_take kst ~kind:Kmem.Packet ~size:packet_size in
-        fill_packet p;
-        Some p
-      end
-      else None
-    in
+    match
+      Kstate.try_pool_take kst ~site:"exec_stack" ~kind:(Kmem.Stack 0)
+        ~size:Prog.stack_size
+    with
+    | None -> enomem [] "bpf stack"
+    | Some stack ->
+    match
+      Kstate.try_pool_take kst ~site:"exec_ctx" ~kind:Kmem.Ctx
+        ~size:layout.Prog.ctx_size
+    with
+    | None -> enomem [ stack ] "context"
+    | Some ctx_region ->
+    match
+      (if Prog.has_packet_access prog.Verifier.l_prog_type then
+         match
+           Kstate.try_pool_take kst ~site:"exec_packet" ~kind:Kmem.Packet
+             ~size:packet_size
+         with
+         | None -> `Fail
+         | Some p ->
+           fill_packet p;
+           `Take (Some p)
+       else `Take None)
+    with
+    | `Fail -> enomem [ stack; ctx_region ] "packet"
+    | `Take pkt_region ->
     fill_ctx layout ctx_region;
     let regs = Array.make 12 0L in
     regs.(1) <- ctx_region.Kmem.base;

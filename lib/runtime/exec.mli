@@ -17,6 +17,10 @@ type result = {
   reports : Bvf_kernel.Report.t list; (** new reports from this run *)
 }
 
+val is_transient : status -> bool
+(** [Error]s modeling transient resource exhaustion (injected
+    allocation failures, ENOMEM): a campaign may retry these. *)
+
 val fuel_limit : int
 (** Watchdog: instruction budget per execution. *)
 

@@ -15,8 +15,9 @@ type t = {
 
 let max_event_depth = 3
 
-let rec create ?(cov = Coverage.create ()) (config : Kconfig.t) : t =
-  let kst = Kstate.create config in
+let rec create ?(cov = Coverage.create ()) ?failslab (config : Kconfig.t) :
+  t =
+  let kst = Kstate.create ?failslab config in
   let t = { kst; cov; attached = []; event_depth = 0 } in
   (* install the event bridge: kernel-fired events run attached progs *)
   kst.Kstate.on_event <- (fun name -> fire_event t name);
@@ -45,6 +46,12 @@ and fire_event (t : t) (name : string) : unit =
   end
 
 let create_map (t : t) (def : Map.def) : int = Kstate.map_create t.kst def
+
+(* Fallible variant: None is the BPF_MAP_CREATE syscall's -ENOMEM under
+   fault injection.  Callers skip the map and carry on, as a fuzzer
+   whose map setup failed would. *)
+let try_create_map (t : t) (def : Map.def) : int option =
+  Kstate.try_map_create t.kst def
 
 (* Result of one load(+run) cycle. *)
 type run_result = {

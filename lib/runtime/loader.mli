@@ -14,10 +14,19 @@ type t = {
 val max_event_depth : int
 (** Nesting bound for event-triggered program execution. *)
 
-val create : ?cov:Bvf_verifier.Coverage.t -> Bvf_kernel.Kconfig.t -> t
+val create :
+  ?cov:Bvf_verifier.Coverage.t -> ?failslab:Bvf_kernel.Failslab.t ->
+  Bvf_kernel.Kconfig.t -> t
+(** A fresh session.  [failslab] (default: disabled) is the campaign's
+    fault-injection plan; it is shared, not copied, so its decision
+    stream continues across session reboots. *)
 
 val create_map : t -> Bvf_kernel.Map.def -> int
 (** Create a map in the session's kernel; returns the fd. *)
+
+val try_create_map : t -> Bvf_kernel.Map.def -> int option
+(** Fallible {!create_map}: [None] is the BPF_MAP_CREATE syscall's
+    -ENOMEM under fault injection. *)
 
 (** Result of one load(+run) cycle. *)
 type run_result = {

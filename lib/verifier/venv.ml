@@ -5,7 +5,7 @@ open Vimport
    worklist, explored states for pruning, the verifier log and the
    coverage instrumentation. *)
 
-type errno = EACCES | EINVAL | E2BIG | EPERM | EFAULT
+type errno = EACCES | EINVAL | E2BIG | EPERM | EFAULT | ENOMEM | EBADF
 
 let errno_to_string = function
   | EACCES -> "EACCES"
@@ -13,6 +13,14 @@ let errno_to_string = function
   | E2BIG -> "E2BIG"
   | EPERM -> "EPERM"
   | EFAULT -> "EFAULT"
+  | ENOMEM -> "ENOMEM"
+  | EBADF -> "EBADF"
+
+(* An injected environmental failure, not a verifier verdict: campaigns
+   may retry these, and the oracle never counts them as findings. *)
+let errno_is_transient = function
+  | ENOMEM -> true
+  | EACCES | EINVAL | E2BIG | EPERM | EFAULT | EBADF -> false
 
 type verr = { errno : errno; vmsg : string; vpc : int }
 

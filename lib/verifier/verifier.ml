@@ -35,8 +35,6 @@ type loaded = {
   l_insn_processed : int;        (* verification effort *)
 }
 
-let next_prog_id = ref 1
-
 (* kmalloc allocation limit for the Bug#8 kmemdup path (bytes). *)
 let kmalloc_max = 8192
 
@@ -56,6 +54,42 @@ let uses_reserved (insns : Insn.t array) : bool =
          end
        | _ -> false)
     insns
+
+(* The kernel resolves map fds to map pointers before verification
+   (resolve_pseudo_ldimm64), over every instruction — dead code
+   included; a stale or never-created fd fails the load with -EBADF, and
+   direct value access on a map that does not support it with -EINVAL.
+   Under fault injection these are normal outcomes: a map creation that
+   failed with -ENOMEM leaves later programs referencing an fd that
+   never existed (or that a different map ended up with). *)
+let resolve_map_fds (kst : Kstate.t) (insns : Insn.t array) :
+  (unit, Venv.verr) result =
+  let bad = ref None in
+  Array.iteri
+    (fun pc i ->
+       if !bad = None then
+         match i with
+         | Insn.Ld_imm64 (_, (Insn.Map_fd fd | Insn.Map_value (fd, _)))
+           when Kstate.map_of_fd kst fd = None ->
+           bad :=
+             Some { Venv.errno = Venv.EBADF;
+                    vmsg = Printf.sprintf "fd %d is not a map" fd;
+                    vpc = pc }
+         | Insn.Ld_imm64 (_, Insn.Map_value (fd, _)) -> begin
+             match Kstate.map_of_fd kst fd with
+             | Some m when m.Map.def.Map.mtype <> Map.Array_map ->
+               bad :=
+                 Some { Venv.errno = Venv.EINVAL;
+                        vmsg =
+                          Printf.sprintf
+                            "map fd %d does not support direct value access"
+                            fd;
+                        vpc = pc }
+             | Some _ | None -> ()
+           end
+         | _ -> ())
+    insns;
+  match !bad with Some e -> Error e | None -> Ok ()
 
 (* Program types loadable without CAP_BPF/CAP_PERFMON. *)
 let unprivileged_prog_types = [ Prog.Socket_filter; Prog.Cgroup_skb ]
@@ -112,8 +146,20 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
   else if uses_reserved req.r_insns then
     Error { Venv.errno = Venv.EINVAL;
             vmsg = "program uses reserved register or helper"; vpc = 0 }
+  else if
+    (* failslab: the syscall kvcallocs insn_aux_data and the verifier
+       state before any analysis; a failed allocation is a clean -ENOMEM,
+       never a verdict about the program *)
+    Bvf_kernel.Failslab.should_fail kst.Kstate.failslab
+      ~site:"bpf_check:insn_aux"
+  then
+    Error { Venv.errno = Venv.ENOMEM;
+            vmsg = "kvcalloc of insn_aux_data failed"; vpc = 0 }
   else
     match check_privilege kst req with
+    | Error e -> Error e
+    | Ok () ->
+    match resolve_map_fds kst req.r_insns with
     | Error e -> Error e
     | Ok () ->
     match resolve_attach kst req with
@@ -133,6 +179,15 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             Sanitize.run ~insns ~aux
           else (insns, aux)
         in
+        if
+          (* failslab: allocating the rewritten program image *)
+          Bvf_kernel.Failslab.should_fail kst.Kstate.failslab
+            ~site:"bpf_prog_load:prog_image"
+        then
+          Error { Venv.errno = Venv.ENOMEM;
+                  vmsg = "bpf_prog_realloc of rewritten image failed";
+                  vpc = 0 }
+        else begin
         (* Bug#8: the syscall kmemdups the rewritten image for
            introspection; large images exceed the kmalloc limit *)
         if Kstate.has_bug kst Kconfig.Bug8_kmemdup_limit
@@ -142,8 +197,8 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
                (Bvf_kernel.Report.Kernel_routine "bpf_prog_load")
                (Bvf_kernel.Report.Warn
                   "kmemdup of rewritten insns failed (kmalloc limit)"));
-        let id = !next_prog_id in
-        incr next_prog_id;
+        let id = kst.Kstate.next_prog_id in
+        kst.Kstate.next_prog_id <- id + 1;
         Ok
           {
             l_id = id;
@@ -156,6 +211,7 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             l_log = Buffer.contents env.Venv.log;
             l_insn_processed = env.Venv.insn_processed;
           }
+        end
 
 (* Verification only (no rewrites): used by tests and the acceptance
    experiment. *)
@@ -170,6 +226,9 @@ let verify (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             vmsg = "program uses reserved register or helper"; vpc = 0 }
   else
     match check_privilege kst req with
+    | Error e -> Error e
+    | Ok () ->
+    match resolve_map_fds kst req.r_insns with
     | Error e -> Error e
     | Ok () ->
     match resolve_attach kst req with

@@ -382,7 +382,9 @@ let suite_cases =
             Asm.ldx_w r2 r6 0 ];
           Asm.ret 0l ] );
     ( "unknown map fd",
-      Reject "not pointing to a map",
+      (* EBADF from fd resolution, before verification — like the
+         kernel's resolve_pseudo_ldimm64 *)
+      Reject "is not a map",
       fun _ _ _ _ -> [ [ Asm.ld_map_fd r1 999 ]; Asm.ret 0l ] );
     ( "bounded loop accepted",
       Accept,
