@@ -9,6 +9,10 @@
      dune exec bench/main.exe -- acceptance - section 6.3 statistics
      dune exec bench/main.exe -- overhead   - section 6.4 sanitation cost
      dune exec bench/main.exe -- ablation   - DESIGN.md ablations
+     dune exec bench/main.exe -- parallel   - sharded-campaign scaling at
+                                              1/2/4 domains; writes
+                                              BENCH_parallel.json
+     dune exec bench/main.exe -- parallel-quick - same, smoke-sized
      dune exec bench/main.exe -- bechamel   - Bechamel timing suite
                                               (one Test.make per artefact) *)
 
@@ -49,6 +53,17 @@ let run_overhead ~count ~runs () =
 let run_ablation ~iterations () =
   line ();
   E.print_ablation (E.ablation ~iterations ())
+
+(* Parallel scaling: prints the table and records the machine-readable
+   baseline next to the repo root (the BENCH_*.json perf trajectory). *)
+let run_parallel ?(path = "BENCH_parallel.json") ~iterations () =
+  line ();
+  let p = E.parallel_bench ~iterations () in
+  E.print_parallel p;
+  let oc = open_out path in
+  output_string oc (E.parallel_to_json p);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* -- Bechamel micro-suite: one Test.make per paper artefact ------------- *)
 
@@ -99,6 +114,8 @@ let () =
   | "acceptance" -> run_acceptance ~programs:4_000 ()
   | "overhead" -> run_overhead ~count:708 ~runs:60 ()
   | "ablation" -> run_ablation ~iterations:6_000 ()
+  | "parallel" -> run_parallel ~iterations:6_000 ()
+  | "parallel-quick" -> run_parallel ~iterations:1_500 ()
   | "bechamel" -> bechamel_suite ()
   | "quick" ->
     run_table2 ~iterations:3_000 ();
@@ -113,10 +130,11 @@ let () =
     run_figure6 ~iterations:6_000 ~repetitions:3 ();
     run_acceptance ~programs:4_000 ();
     run_overhead ~count:708 ~runs:60 ();
-    run_ablation ~iterations:6_000 ()
+    run_ablation ~iterations:6_000 ();
+    run_parallel ~iterations:6_000 ()
   | other ->
     Printf.eprintf
       "unknown experiment %S (try: all quick table2 table3 figure6 \
-       acceptance overhead ablation bechamel)\n"
+       acceptance overhead ablation parallel parallel-quick bechamel)\n"
       other;
     exit 2

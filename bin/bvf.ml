@@ -15,6 +15,7 @@ module Checkpoint = Bvf_core.Checkpoint
 module Verifier = Bvf_verifier.Verifier
 module Loader = Bvf_runtime.Loader
 module Campaign = Bvf_core.Campaign
+module Parallel = Bvf_core.Parallel
 module Oracle = Bvf_core.Oracle
 module Selftests = Bvf_core.Selftests
 module E = Bvf_experiments.Experiments
@@ -99,10 +100,29 @@ let resume_t =
          ~doc:"Resume a campaign from a checkpoint file written by \
                --checkpoint.")
 
+let jobs_t =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Shard the campaign across $(docv) parallel domains \
+               (shard i fuzzes with seed+i; coverage, findings and the \
+               corpus are merged).  $(docv)=1 is the sequential path.")
+
+let print_findings (stats : Campaign.stats) : unit =
+  let findings =
+    Hashtbl.fold (fun _ f acc -> f :: acc) stats.Campaign.st_findings []
+    |> List.sort (fun a b ->
+        compare a.Campaign.fd_iteration b.Campaign.fd_iteration)
+  in
+  List.iter
+    (fun (f : Campaign.found) ->
+       Printf.printf "  iter %6d: %s\n" f.Campaign.fd_iteration
+         (Oracle.finding_to_string f.Campaign.fd_finding))
+    findings
+
 let fuzz_cmd =
   let run version seed iterations tool no_sanitize fixed unprivileged
       failslab_rate failslab_seed checkpoint_path checkpoint_every
-      resume_path =
+      resume_path jobs =
     let config =
       if fixed then Kconfig.fixed version else Kconfig.default version
     in
@@ -114,71 +134,90 @@ let fuzz_cmd =
       | `Syz -> Bvf_baselines.Syz_gen.strategy
       | `Buzzer -> Bvf_baselines.Buzzer_gen.strategy ()
     in
-    let resume_from =
-      match resume_path with
-      | None -> None
-      | Some path ->
-        (match Campaign.load_checkpoint ~path with
-         | Ok s ->
-           Printf.printf "resuming from %s: %d iterations completed\n" path
-             s.Campaign.sn_completed;
-           Some s
-         | Error e ->
-           Printf.eprintf "bvf fuzz: cannot resume from %s: %s\n" path
-             (Checkpoint.error_to_string e);
-           exit 3)
-    in
+    if jobs < 1 then begin
+      Printf.eprintf "bvf fuzz: --jobs must be >= 1\n";
+      exit 2
+    end;
+    if jobs > 1 && (checkpoint_path <> None || resume_path <> None) then begin
+      Printf.eprintf
+        "bvf fuzz: --jobs > 1 is incompatible with --checkpoint/--resume \
+         (shards are merged, not checkpointed)\n";
+      exit 2
+    end;
     if failslab_rate < 0.0 || failslab_rate > 1.0 then begin
       Printf.eprintf "bvf fuzz: --failslab rate must be in [0,1]\n";
       exit 2
     end;
-    let failslab =
-      (* on resume the restored plan (with its stream position) wins *)
-      match resume_from with
-      | Some _ -> None
-      | None when failslab_rate > 0.0 ->
-        Some
-          (Failslab.create ~rate:failslab_rate
-             ~seed:(Option.value failslab_seed ~default:seed) ())
-      | None -> None
-    in
-    Printf.printf "fuzzing %s (%d injected bugs, sanitize=%b) with %s...\n"
+    Printf.printf "fuzzing %s (%d injected bugs, sanitize=%b) with %s%s...\n"
       (Version.to_string version)
       (List.length config.Kconfig.bugs)
-      config.Kconfig.sanitize strategy.Campaign.s_name;
-    let stats =
-      try
-        Campaign.run
-          ~checkpoint_every
-          ?checkpoint_path
-          ?failslab
-          ?resume_from
-          ~seed ~iterations strategy config
-      with Campaign.Environment msg ->
-        Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
-        exit 3
-    in
-    Format.printf "%a" Campaign.pp_summary stats;
-    (match failslab with
-     | Some plan when Failslab.enabled plan ->
-       Format.printf "%a" Failslab.pp_summary plan
-     | Some _ | None -> ());
-    let findings =
-      Hashtbl.fold (fun _ f acc -> f :: acc) stats.Campaign.st_findings []
-      |> List.sort (fun a b ->
-          compare a.Campaign.fd_iteration b.Campaign.fd_iteration)
-    in
-    List.iter
-      (fun (f : Campaign.found) ->
-         Printf.printf "  iter %6d: %s\n" f.Campaign.fd_iteration
-           (Oracle.finding_to_string f.Campaign.fd_finding))
-      findings
+      config.Kconfig.sanitize strategy.Campaign.s_name
+      (if jobs > 1 then Printf.sprintf " across %d domains" jobs else "");
+    if jobs > 1 then begin
+      let result =
+        try
+          Parallel.run ~jobs
+            ?failslab_rate:
+              (if failslab_rate > 0.0 then Some failslab_rate else None)
+            ?failslab_seed ~seed ~iterations strategy config
+        with Campaign.Environment msg ->
+          Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
+          exit 3
+      in
+      Format.printf "%a" Parallel.pp_summary result;
+      Printf.printf "merged digest: %s\n" (Parallel.digest result);
+      print_findings result.Parallel.pr_stats
+    end
+    else begin
+      let resume_from =
+        match resume_path with
+        | None -> None
+        | Some path ->
+          (match Campaign.load_checkpoint ~path with
+           | Ok s ->
+             Printf.printf "resuming from %s: %d iterations completed\n"
+               path s.Campaign.sn_completed;
+             Some s
+           | Error e ->
+             Printf.eprintf "bvf fuzz: cannot resume from %s: %s\n" path
+               (Checkpoint.error_to_string e);
+             exit 3)
+      in
+      let failslab =
+        (* on resume the restored plan (with its stream position) wins *)
+        match resume_from with
+        | Some _ -> None
+        | None when failslab_rate > 0.0 ->
+          Some
+            (Failslab.create ~rate:failslab_rate
+               ~seed:(Option.value failslab_seed ~default:seed) ())
+        | None -> None
+      in
+      let stats =
+        try
+          Campaign.run
+            ~checkpoint_every
+            ?checkpoint_path
+            ?failslab
+            ?resume_from
+            ~seed ~iterations strategy config
+        with Campaign.Environment msg ->
+          Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
+          exit 3
+      in
+      Format.printf "%a" Campaign.pp_summary stats;
+      (match failslab with
+       | Some plan when Failslab.enabled plan ->
+         Format.printf "%a" Failslab.pp_summary plan
+       | Some _ | None -> ());
+      print_findings stats
+    end
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign.")
     Term.(const run $ version_t $ seed_t $ iterations_t $ tool_t
           $ no_sanitize_t $ fixed_t $ unprivileged_t $ failslab_t
           $ failslab_seed_t $ checkpoint_t $ checkpoint_every_t
-          $ resume_t)
+          $ resume_t $ jobs_t)
 
 (* -- repro ------------------------------------------------------------------ *)
 
@@ -279,6 +318,7 @@ let experiments_cmd =
     | "acceptance" -> E.print_acceptance (E.acceptance ())
     | "overhead" -> E.print_overhead (E.overhead ())
     | "ablation" -> E.print_ablation (E.ablation ())
+    | "parallel" -> E.print_parallel (E.parallel_bench ())
     | other ->
       Printf.eprintf "unknown experiment %S\n" other;
       exit 2
@@ -286,7 +326,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate a paper artefact (table2, table3, figure6, \
-             acceptance, overhead, ablation).")
+             acceptance, overhead, ablation, parallel).")
     Term.(const run
           $ Arg.(required & pos 0 (some string) None
                  & info [] ~docv:"EXPERIMENT"))

@@ -242,21 +242,23 @@ let step (c : t) : unit =
   stats.st_histogram <-
     Array.fold_left Disasm.classify stats.st_histogram
       req.Verifier.r_insns;
-  (* snapshot local coverage through a per-run local edge table: the
-     loader records into the shared map; we measure growth *)
-  let edges_before = Coverage.edge_count c.cov in
   (* bounded retry of transient environment errors, escalating to a
-     reboot before the final attempt *)
-  let rec attempt (n : int) : Loader.run_result =
+     reboot before the final attempt.  The coverage snapshot is taken
+     immediately before the attempt that produces the returned result:
+     edges recorded by retried-away executions and by reboot-time map
+     setup belong to the environment, not to this program, and must not
+     inflate the corpus entry's feedback score. *)
+  let rec attempt (n : int) : int * Loader.run_result =
+    let edges_before = Coverage.edge_count c.cov in
     let result = Loader.load_and_run c.session req in
     if is_transient result && n < max_transient_retries then begin
       stats.st_retries <- stats.st_retries + 1;
       if n = max_transient_retries - 1 then reboot c;
       attempt (n + 1)
     end
-    else result
+    else (edges_before, result)
   in
-  let result = attempt 0 in
+  let edges_before, result = attempt 0 in
   if is_transient result then
     stats.st_env_errors <- stats.st_env_errors + 1;
   let new_edges = Coverage.edge_count c.cov - edges_before in
@@ -389,9 +391,9 @@ let resume ?(sample_every = 64) (strategy : strategy) (config : Kconfig.t)
 
 (* -- Driving ----------------------------------------------------------- *)
 
-let run ?(sample_every = 64) ?checkpoint_every ?checkpoint_path ?failslab
+let run_t ?(sample_every = 64) ?checkpoint_every ?checkpoint_path ?failslab
     ?resume_from ~(seed : int) ~(iterations : int) (strategy : strategy)
-    (config : Kconfig.t) : stats =
+    (config : Kconfig.t) : t =
   let c =
     match resume_from with
     | Some s -> resume ~sample_every strategy config s
@@ -423,11 +425,28 @@ let run ?(sample_every = 64) ?checkpoint_every ?checkpoint_path ?failslab
       reboot c
     end
   done;
-  c.stats.st_curve <-
+  (* closing sample: when the final iteration already landed on a
+     sample_every boundary (or the campaign is finalized twice, e.g.
+     resumed for zero further iterations) the curve would carry the same
+     iteration twice, double-counting it in the digest and in plotted
+     curves — drop any prior sample at this iteration first *)
+  let final =
     { sa_iteration = c.stats.st_generated;
       sa_edges = Coverage.edge_count c.cov }
-    :: c.stats.st_curve;
-  c.stats
+  in
+  c.stats.st_curve <-
+    final
+    :: List.filter
+      (fun sa -> sa.sa_iteration <> final.sa_iteration)
+      c.stats.st_curve;
+  c
+
+let run ?sample_every ?checkpoint_every ?checkpoint_path ?failslab
+    ?resume_from ~(seed : int) ~(iterations : int) (strategy : strategy)
+    (config : Kconfig.t) : stats =
+  (run_t ?sample_every ?checkpoint_every ?checkpoint_path ?failslab
+     ?resume_from ~seed ~iterations strategy config)
+    .stats
 
 let pp_summary fmt (s : stats) : unit =
   Format.fprintf fmt

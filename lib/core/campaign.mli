@@ -150,6 +150,14 @@ val resume :
     @raise Environment when the snapshot was taken by a different tool,
     kernel version, or config. *)
 
+val run_t :
+  ?sample_every:int -> ?checkpoint_every:int -> ?checkpoint_path:string ->
+  ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot -> seed:int ->
+  iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> t
+(** Like {!run} but returns the whole campaign, giving callers (the
+    parallel shard runner, tests) access to the final coverage map and
+    corpus alongside the stats. *)
+
 val run :
   ?sample_every:int -> ?checkpoint_every:int -> ?checkpoint_path:string ->
   ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot -> seed:int ->
@@ -158,6 +166,9 @@ val run :
     iterations (absolute count, so resumed runs hit the same barriers)
     the campaign writes a checkpoint to [checkpoint_path] (if given) and
     reboots the kernel — the barrier that makes resume deterministic.
+    The closing coverage sample is deduplicated by iteration, so
+    finalizing a campaign twice (or on a sample boundary) never records
+    the same iteration twice.
     @raise Environment on checkpoint write failure. *)
 
 val pp_summary : Format.formatter -> stats -> unit

@@ -49,15 +49,35 @@ let add (t : t) ~(iteration : int) ~(new_edges : int)
     end
   end
 
+let entries (t : t) : entry list = t.entries
+
+(* Energy of an entry: the weight {!pick_entry} gives it (edges
+   contributed plus a recency bonus). *)
+let energy (e : entry) : int = 1 + e.new_edges + (e.added_at / 64)
+
+(* Rebuild a corpus from entries gathered elsewhere (e.g. the shards of
+   a parallel campaign, with [added_at] already remapped to global
+   iterations).  Entries are re-scored under their new iteration
+   numbers; when over capacity only the highest-energy ones survive.
+   The sort is stable, so the result is deterministic in the input
+   order. *)
+let of_entries ?(max_size = 256) (es : entry list) : t =
+  let scored =
+    List.stable_sort (fun a b -> compare (energy b) (energy a)) es
+  in
+  let kept =
+    if List.length scored <= max_size then scored
+    else List.filteri (fun i _ -> i < max_size) scored
+  in
+  { entries = kept; total = List.length kept; quarantined = 0; max_size }
+
 (* Pick a seed entry: weighted towards entries that contributed more
    edges, with a recency bonus. *)
 let pick_entry (t : t) (rng : Rng.t) : entry option =
   match t.entries with
   | [] -> None
   | entries ->
-    let weighted =
-      List.map (fun e -> (1 + e.new_edges + (e.added_at / 64), e)) entries
-    in
+    let weighted = List.map (fun e -> (energy e, e)) entries in
     Some (Rng.weighted rng weighted)
 
 let pick (t : t) (rng : Rng.t) : Verifier.request option =

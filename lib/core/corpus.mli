@@ -27,6 +27,20 @@ val add :
 (** Entries contributing no new edges are dropped; when full, the
     weakest half is evicted. *)
 
+val entries : t -> entry list
+(** The live (non-quarantined) entries, newest first. *)
+
+val energy : entry -> int
+(** The pick weight of an entry: edges contributed plus a recency
+    bonus. *)
+
+val of_entries : ?max_size:int -> entry list -> t
+(** Rebuild a corpus from entries gathered elsewhere (e.g. the shards of
+    a parallel campaign, with [added_at] remapped to global iterations).
+    Entries are re-scored under their new iteration numbers; when over
+    capacity only the highest-{!energy} entries survive.  Deterministic
+    in the input order. *)
+
 val pick : t -> Rng.t -> Bvf_verifier.Verifier.request option
 (** Weighted towards entries that contributed more edges, with a recency
     bonus. *)

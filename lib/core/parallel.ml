@@ -1,0 +1,277 @@
+open Cimport
+
+(* Parallel campaign runner: shard one logical campaign across N OCaml 5
+   domains, the way syzkaller shards fuzzing across VMs and merges
+   coverage centrally (and the way the paper's evaluation runs many
+   instances to reach meaningful iteration counts).
+
+   Each shard is a fully independent {!Campaign.t}: its own simulated
+   kernel, its own RNG stream (split as [seed + shard_index], so the
+   result is a pure function of (seed, jobs)), its own coverage map and
+   corpus.  Shards never share mutable state, so domains need no locks
+   and the run is deterministic regardless of scheduling.
+
+   The merge layer folds the shard results into one {!Campaign.stats}:
+
+   - coverage is unioned through portable (site, variant) edge names
+     (numeric edge ids are interner-order dependent per shard);
+   - findings are deduplicated by fingerprint key, keeping the earliest
+     *global* iteration — shard-local iteration [j] of shard [s] maps to
+     global iteration [j * jobs + s], i.e. the shards are viewed as
+     fuzzing in lockstep round-robin, exactly the schedule a sequential
+     run with [jobs = 1] degenerates to;
+   - counters, errno distributions and instruction histograms are
+     summed;
+   - the corpus is the union of shard corpora with entries re-scored
+     under their global iteration numbers ({!Corpus.of_entries});
+   - the merged coverage curve records, at every global iteration any
+     shard sampled, the sum of the shards' local edge counts — the raw
+     per-VM signal before central dedup, an upper bound on the union;
+     the final [st_edges] is the true union size.
+
+   Determinism contract: for fixed (seed, jobs, config, strategy) every
+   shard result and the merged stats/digest are identical across runs
+   and machines; [jobs = 1] delegates to {!Campaign.run_t} and is
+   bit-identical to the sequential path. *)
+
+type shard = {
+  sh_index : int;
+  sh_seed : int;
+  sh_iterations : int;
+  sh_stats : Campaign.stats;
+  sh_corpus : Corpus.entry list;
+  sh_edges : ((string * int) * int) list; (* portable coverage listing *)
+}
+
+type result = {
+  pr_jobs : int;
+  pr_iterations : int;
+  pr_stats : Campaign.stats; (* merged *)
+  pr_cov : Coverage.t;       (* union coverage *)
+  pr_corpus : Corpus.t;      (* merged, re-scored *)
+  pr_shards : shard list;    (* in index order *)
+}
+
+(* Round-robin split: shard [i] executes exactly the global iterations
+   congruent to [i] mod [jobs], so the per-shard counts are
+   [iterations / jobs] plus one for the first [iterations mod jobs]
+   shards. *)
+let shard_iterations ~(iterations : int) ~(jobs : int) : int array =
+  if jobs < 1 then invalid_arg "Parallel.shard_iterations: jobs < 1";
+  if iterations < 0 then
+    invalid_arg "Parallel.shard_iterations: negative iterations";
+  Array.init jobs (fun i ->
+      (iterations / jobs) + if i < iterations mod jobs then 1 else 0)
+
+let global_iteration ~(jobs : int) ~(shard : int) (local : int) : int =
+  (local * jobs) + shard
+
+(* -- Merging ----------------------------------------------------------- *)
+
+let add_histogram (a : Disasm.class_histogram)
+    (b : Disasm.class_histogram) : Disasm.class_histogram =
+  {
+    Disasm.alu = a.Disasm.alu + b.Disasm.alu;
+    jmp = a.Disasm.jmp + b.Disasm.jmp;
+    load = a.Disasm.load + b.Disasm.load;
+    store = a.Disasm.store + b.Disasm.store;
+    call = a.Disasm.call + b.Disasm.call;
+    other = a.Disasm.other + b.Disasm.other;
+  }
+
+(* Merged findings: same dedup key as the sequential campaign, earliest
+   global iteration wins.  Folding per key through [min] makes the
+   result independent of hashtable iteration order. *)
+let merge_findings ~(jobs : int) (shards : shard list) :
+  (string, Campaign.found) Hashtbl.t =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun sh ->
+       Hashtbl.iter
+         (fun key (f : Campaign.found) ->
+            let f =
+              { f with
+                Campaign.fd_iteration =
+                  global_iteration ~jobs ~shard:sh.sh_index
+                    f.Campaign.fd_iteration }
+            in
+            match Hashtbl.find_opt merged key with
+            | Some prev
+              when prev.Campaign.fd_iteration <= f.Campaign.fd_iteration ->
+              ()
+            | Some _ | None -> Hashtbl.replace merged key f)
+         sh.sh_stats.Campaign.st_findings)
+    shards;
+  merged
+
+(* Merged coverage curve: at every global iteration some shard sampled,
+   the sum of each shard's latest local edge count — per-VM coverage
+   before central dedup.  Monotone and deterministic. *)
+let merge_curves ~(jobs : int) (shards : shard list) :
+  Campaign.sample list =
+  (* per shard: samples ascending by global iteration *)
+  let ascending =
+    List.map
+      (fun sh ->
+         List.rev_map
+           (fun (sa : Campaign.sample) ->
+              ( global_iteration ~jobs ~shard:sh.sh_index
+                  sa.Campaign.sa_iteration,
+                sa.Campaign.sa_edges ))
+           sh.sh_stats.Campaign.st_curve
+         |> List.sort compare)
+      shards
+  in
+  let points =
+    List.sort_uniq compare (List.concat_map (List.map fst) ascending)
+  in
+  let at (samples : (int * int) list) (g : int) : int =
+    List.fold_left
+      (fun acc (it, edges) -> if it <= g then edges else acc)
+      0 samples
+  in
+  List.map
+    (fun g ->
+       { Campaign.sa_iteration = g;
+         sa_edges =
+           List.fold_left (fun acc s -> acc + at s g) 0 ascending })
+    points
+  |> List.rev (* newest first, like the sequential curve *)
+
+let merge_errno (shards : shard list) : (Venv.errno, int) Hashtbl.t =
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun sh ->
+       Hashtbl.iter
+         (fun e n ->
+            Hashtbl.replace merged e
+              (n + Option.value (Hashtbl.find_opt merged e) ~default:0))
+         sh.sh_stats.Campaign.st_errno)
+    shards;
+  merged
+
+let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
+  Campaign.stats =
+  match shards with
+  | [] -> invalid_arg "Parallel.merge_stats: no shards"
+  | first :: _ ->
+    let sum f = List.fold_left (fun acc sh -> acc + f sh.sh_stats) 0 shards in
+    {
+      Campaign.st_tool = first.sh_stats.Campaign.st_tool;
+      st_version = first.sh_stats.Campaign.st_version;
+      st_generated = sum (fun s -> s.Campaign.st_generated);
+      st_accepted = sum (fun s -> s.Campaign.st_accepted);
+      st_rejected = sum (fun s -> s.Campaign.st_rejected);
+      st_errno = merge_errno shards;
+      st_findings = merge_findings ~jobs shards;
+      st_curve = merge_curves ~jobs shards;
+      st_histogram =
+        List.fold_left
+          (fun acc sh -> add_histogram acc sh.sh_stats.Campaign.st_histogram)
+          Disasm.empty_histogram shards;
+      st_edges = Coverage.edge_count cov;
+      st_reboots = sum (fun s -> s.Campaign.st_reboots);
+      st_env_errors = sum (fun s -> s.Campaign.st_env_errors);
+      st_retries = sum (fun s -> s.Campaign.st_retries);
+      st_quarantined = sum (fun s -> s.Campaign.st_quarantined);
+    }
+
+let merge_corpora ~(jobs : int) ?(max_size = 256) (shards : shard list) :
+  Corpus.t =
+  List.concat_map
+    (fun sh ->
+       List.map
+         (fun (e : Corpus.entry) ->
+            { e with
+              Corpus.added_at =
+                global_iteration ~jobs ~shard:sh.sh_index
+                  e.Corpus.added_at })
+         sh.sh_corpus)
+    shards
+  |> Corpus.of_entries ~max_size
+
+(* -- Driving ----------------------------------------------------------- *)
+
+let shard_of_campaign ~(index : int) ~(seed : int) ~(iterations : int)
+    (c : Campaign.t) : shard =
+  {
+    sh_index = index;
+    sh_seed = seed;
+    sh_iterations = iterations;
+    sh_stats = c.Campaign.stats;
+    sh_corpus = Corpus.entries c.Campaign.corpus;
+    sh_edges = Coverage.named_edges c.Campaign.cov;
+  }
+
+let run ?(sample_every = 64) ?failslab_rate ?failslab_seed ~(jobs : int)
+    ~(seed : int) ~(iterations : int) (strategy : Campaign.strategy)
+    (config : Kconfig.t) : result =
+  if jobs < 1 then invalid_arg "Parallel.run: jobs < 1";
+  let counts = shard_iterations ~iterations ~jobs in
+  let plan_for (i : int) : Bvf_kernel.Failslab.t option =
+    match failslab_rate with
+    | Some rate when rate > 0.0 ->
+      Some
+        (Bvf_kernel.Failslab.create ~rate
+           ~seed:(Option.value failslab_seed ~default:seed + i)
+           ())
+    | Some _ | None -> None
+  in
+  let run_shard (i : int) : Campaign.t =
+    Campaign.run_t ~sample_every ?failslab:(plan_for i) ~seed:(seed + i)
+      ~iterations:counts.(i) strategy config
+  in
+  if jobs = 1 then begin
+    (* the sequential path, verbatim: same calls in the same domain, so
+       stats and digest are bit-identical to Campaign.run *)
+    let c = run_shard 0 in
+    let sh = shard_of_campaign ~index:0 ~seed ~iterations c in
+    {
+      pr_jobs = 1;
+      pr_iterations = iterations;
+      pr_stats = c.Campaign.stats;
+      pr_cov = c.Campaign.cov;
+      pr_corpus = c.Campaign.corpus;
+      pr_shards = [ sh ];
+    }
+  end
+  else begin
+    let domains =
+      Array.init jobs (fun i -> Domain.spawn (fun () -> run_shard i))
+    in
+    let shards =
+      Array.to_list
+        (Array.mapi
+           (fun i d ->
+              shard_of_campaign ~index:i ~seed:(seed + i)
+                ~iterations:counts.(i) (Domain.join d))
+           domains)
+    in
+    let cov = Coverage.create () in
+    List.iter
+      (fun sh -> ignore (Coverage.absorb_named cov sh.sh_edges))
+      shards;
+    {
+      pr_jobs = jobs;
+      pr_iterations = iterations;
+      pr_stats = merge_stats ~jobs cov shards;
+      pr_cov = cov;
+      pr_corpus = merge_corpora ~jobs shards;
+      pr_shards = shards;
+    }
+  end
+
+let digest (r : result) : string = Campaign.digest r.pr_stats
+
+let pp_summary fmt (r : result) : unit =
+  Format.fprintf fmt "%a" Campaign.pp_summary r.pr_stats;
+  if r.pr_jobs > 1 then
+    List.iter
+      (fun sh ->
+         Format.fprintf fmt
+           "  shard %d (seed %d): %d programs, %d edges, %d findings, %d reboots@."
+           sh.sh_index sh.sh_seed sh.sh_stats.Campaign.st_generated
+           sh.sh_stats.Campaign.st_edges
+           (Hashtbl.length sh.sh_stats.Campaign.st_findings)
+           sh.sh_stats.Campaign.st_reboots)
+      r.pr_shards

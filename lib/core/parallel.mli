@@ -1,0 +1,74 @@
+(** Parallel campaign runner: shard one logical campaign across N
+    OCaml 5 domains and merge the shard results into one
+    {!Campaign.stats} — the syzkaller shape of fuzzing (independent VMs,
+    central coverage merge) applied to the simulated kernel.
+
+    Each shard owns its own simulated kernel, RNG stream
+    ([seed + shard_index]), coverage map and corpus; shards share no
+    mutable state, so the result is a pure function of
+    [(seed, jobs, config, strategy)] regardless of domain scheduling.
+
+    Shard-local iteration [j] of shard [s] maps to global iteration
+    [j * jobs + s] (round-robin lockstep); with [jobs = 1] this is the
+    identity and {!run} delegates to {!Campaign.run_t}, making the
+    single-job path bit-identical to the sequential campaign. *)
+
+(** One shard's outcome, in portable form. *)
+type shard = {
+  sh_index : int;
+  sh_seed : int;
+  sh_iterations : int;
+  sh_stats : Campaign.stats;
+  sh_corpus : Corpus.entry list;
+  sh_edges : ((string * int) * int) list;
+      (** {!Bvf_verifier.Coverage.named_edges} of the shard's map *)
+}
+
+type result = {
+  pr_jobs : int;
+  pr_iterations : int;
+  pr_stats : Campaign.stats;
+      (** merged: union coverage count, findings deduplicated at their
+          earliest global iteration, counters and histograms summed, and
+          a curve of summed per-shard edge counts (the raw per-VM signal,
+          an upper bound on the union at each sample point) *)
+  pr_cov : Bvf_verifier.Coverage.t; (** union coverage map *)
+  pr_corpus : Corpus.t;
+      (** shard corpora unioned and re-scored at global iterations *)
+  pr_shards : shard list; (** in index order *)
+}
+
+val shard_iterations : iterations:int -> jobs:int -> int array
+(** Round-robin split of the iteration budget: [iterations / jobs] each,
+    plus one for the first [iterations mod jobs] shards.  Sums to
+    [iterations].
+    @raise Invalid_argument when [jobs < 1] or [iterations < 0]. *)
+
+val global_iteration : jobs:int -> shard:int -> int -> int
+(** [global_iteration ~jobs ~shard local] is [local * jobs + shard]. *)
+
+val merge_stats :
+  jobs:int -> Bvf_verifier.Coverage.t -> shard list -> Campaign.stats
+(** Fold shard stats into one merged stats against the given union
+    coverage map.  Deterministic in the shard list order.
+    @raise Invalid_argument on an empty shard list. *)
+
+val merge_corpora : jobs:int -> ?max_size:int -> shard list -> Corpus.t
+
+val run :
+  ?sample_every:int -> ?failslab_rate:float -> ?failslab_seed:int ->
+  jobs:int -> seed:int -> iterations:int -> Campaign.strategy ->
+  Bvf_kernel.Kconfig.t -> result
+(** Run [iterations] total fuzzing iterations sharded across [jobs]
+    domains.  Shard [i] fuzzes with seed [seed + i] (and, when
+    [failslab_rate > 0], a fault plan seeded [failslab_seed + i],
+    defaulting [failslab_seed] to [seed]).  [jobs = 1] runs in the
+    calling domain and is bit-identical to {!Campaign.run}.
+    @raise Invalid_argument when [jobs < 1].
+    @raise Campaign.Environment if any shard raises it. *)
+
+val digest : result -> string
+(** {!Campaign.digest} of the merged stats: one canonical hex digest for
+    the whole parallel campaign, deterministic for fixed (seed, jobs). *)
+
+val pp_summary : Format.formatter -> result -> unit

@@ -20,6 +20,7 @@ module Coverage = Bvf_verifier.Coverage
 module Loader = Bvf_runtime.Loader
 module Exec = Bvf_runtime.Exec
 module Campaign = Bvf_core.Campaign
+module Parallel = Bvf_core.Parallel
 module Gen = Bvf_core.Gen
 module Rng = Bvf_core.Rng
 module Oracle = Bvf_core.Oracle
@@ -373,6 +374,106 @@ let print_overhead (o : overhead) : unit =
     (100.0 *. o.oh_exec_slowdown);
   Printf.printf "  instruction footprint:  %.2fx  (paper: 3.0x)\n"
     o.oh_insn_footprint
+
+(* -- Parallel scaling: the merged-shard campaign runner ------------------ *)
+
+(* Throughput of the same logical campaign sharded across 1/2/4 domains:
+   the repo's recorded performance baseline (BENCH_parallel.json).  The
+   digest column pins determinism — rerunning a row must reproduce it
+   bit-for-bit for fixed (seed, jobs). *)
+
+type parallel_row = {
+  pl_jobs : int;
+  pl_programs : int;
+  pl_seconds : float;
+  pl_rate : float;     (* programs per second, wall clock *)
+  pl_edges : int;      (* merged (union) coverage *)
+  pl_findings : int;
+  pl_digest : string;  (* merged campaign digest *)
+}
+
+type parallel_bench = {
+  pb_iterations : int;
+  pb_seed : int;
+  pb_cores : int;      (* Domain.recommended_domain_count at run time *)
+  pb_rows : parallel_row list;
+}
+
+let parallel_bench ?(iterations = 6_000) ?(seed = 1)
+    ?(jobs = [ 1; 2; 4 ]) () : parallel_bench =
+  let config = Kconfig.default Version.Bpf_next in
+  let rows =
+    List.map
+      (fun j ->
+         let t0 = Unix.gettimeofday () in
+         let r =
+           Parallel.run ~jobs:j ~seed ~iterations Campaign.bvf_strategy
+             config
+         in
+         let dt = Unix.gettimeofday () -. t0 in
+         {
+           pl_jobs = j;
+           pl_programs = r.Parallel.pr_stats.Campaign.st_generated;
+           pl_seconds = dt;
+           pl_rate =
+             (if dt > 0.0 then
+                float_of_int r.Parallel.pr_stats.Campaign.st_generated /. dt
+              else 0.0);
+           pl_edges = r.Parallel.pr_stats.Campaign.st_edges;
+           pl_findings =
+             Hashtbl.length r.Parallel.pr_stats.Campaign.st_findings;
+           pl_digest = Parallel.digest r;
+         })
+      jobs
+  in
+  {
+    pb_iterations = iterations;
+    pb_seed = seed;
+    pb_cores = Domain.recommended_domain_count ();
+    pb_rows = rows;
+  }
+
+let parallel_speedup (p : parallel_bench) (row : parallel_row) : float =
+  match List.find_opt (fun r -> r.pl_jobs = 1) p.pb_rows with
+  | Some base when base.pl_rate > 0.0 -> row.pl_rate /. base.pl_rate
+  | Some _ | None -> 1.0
+
+let print_parallel (p : parallel_bench) : unit =
+  Printf.printf
+    "Parallel campaign scaling (%d iterations, seed %d, %d cores available)\n"
+    p.pb_iterations p.pb_seed p.pb_cores;
+  Printf.printf "  %5s %9s %9s %13s %9s %8s %8s\n" "jobs" "programs"
+    "seconds" "programs/sec" "speedup" "edges" "findings";
+  List.iter
+    (fun r ->
+       Printf.printf "  %5d %9d %9.2f %13.0f %8.2fx %8d %8d\n" r.pl_jobs
+         r.pl_programs r.pl_seconds r.pl_rate (parallel_speedup p r)
+         r.pl_edges r.pl_findings)
+    p.pb_rows;
+  List.iter
+    (fun r -> Printf.printf "  digest jobs=%d: %s\n" r.pl_jobs r.pl_digest)
+    p.pb_rows
+
+let parallel_to_json (p : parallel_bench) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"bench\": \"parallel\",\n";
+  Printf.bprintf b "  \"iterations\": %d,\n" p.pb_iterations;
+  Printf.bprintf b "  \"seed\": %d,\n" p.pb_seed;
+  Printf.bprintf b "  \"cores\": %d,\n" p.pb_cores;
+  Printf.bprintf b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+       Printf.bprintf b
+         "    {\"jobs\": %d, \"programs\": %d, \"seconds\": %.6f, \
+          \"programs_per_sec\": %.1f, \"speedup_vs_1\": %.3f, \
+          \"edges\": %d, \"findings\": %d, \"digest\": \"%s\"}%s\n"
+         r.pl_jobs r.pl_programs r.pl_seconds r.pl_rate
+         (parallel_speedup p r) r.pl_edges r.pl_findings r.pl_digest
+         (if i < List.length p.pb_rows - 1 then "," else ""))
+    p.pb_rows;
+  Printf.bprintf b "  ]\n}\n";
+  Buffer.contents b
 
 (* -- Ablations (DESIGN.md section 6) ------------------------------------- *)
 

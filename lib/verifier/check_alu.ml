@@ -77,11 +77,20 @@ let scalar_bitop op (d : t) (s : t) : t =
 
 let scalar_mul (d : t) (s : t) : t =
   let var_off = Tnum.mul d.var_off s.var_off in
-  if Word.ule d.umax u32_max && Word.ule s.umax u32_max then
-    (* no unsigned overflow possible *)
-    sync
-      { d with var_off; smin = 0L; smax = Int64.max_int;
-        umin = Int64.mul d.umin s.umin; umax = Int64.mul d.umax s.umax }
+  if Word.ule d.umax u32_max && Word.ule s.umax u32_max then begin
+    (* both operands fit in 32 bits: the unsigned product cannot wrap
+       64 bits, so the unsigned bounds are exact *)
+    let umin = Int64.mul d.umin s.umin in
+    let umax = Int64.mul d.umax s.umax in
+    (* kernel adjust_scalar_min_max_vals: the unsigned bounds carry over
+       to the signed ones only when the product provably fits in S64 —
+       a product of 2^63 or above is negative as a signed value *)
+    let smin, smax =
+      if Word.ule umax Int64.max_int then (umin, umax)
+      else (Int64.min_int, Int64.max_int)
+    in
+    sync { d with var_off; smin; smax; umin; umax }
+  end
   else sync { (unbounded d) with var_off }
 
 let scalar_div (d : t) (_s : t) : t =

@@ -46,3 +46,37 @@ let merge (t : t) (local : (int, unit) Hashtbl.t) : int =
     local 0
 
 let reset (t : t) : unit = Hashtbl.reset t.edges
+
+(* -- Cross-map merging -------------------------------------------------- *)
+
+(* Numeric edge ids depend on the order sites happened to be interned,
+   which differs between independently-grown maps (e.g. two campaign
+   shards).  Merging therefore goes through the portable identity of an
+   edge: its (site name, variant) pair. *)
+
+let named_edges (t : t) : ((string * int) * int) list =
+  let names = Hashtbl.create (Hashtbl.length t.interner) in
+  Hashtbl.iter (fun site id -> Hashtbl.replace names id site) t.interner;
+  Hashtbl.fold
+    (fun edge hits acc ->
+       let sid = edge / variants_per_site
+       and variant = edge mod variants_per_site in
+       match Hashtbl.find_opt names sid with
+       | Some site -> ((site, variant), hits) :: acc
+       | None -> acc (* unreachable: every recorded edge was interned *))
+    t.edges []
+  |> List.sort compare
+
+let absorb_named (t : t) (edges : ((string * int) * int) list) : int =
+  List.fold_left
+    (fun fresh ((site, variant), hits) ->
+       let id = edge_id t site variant in
+       let seen = Option.value (Hashtbl.find_opt t.edges id) ~default:0 in
+       Hashtbl.replace t.edges id (seen + hits);
+       if seen = 0 then fresh + 1 else fresh)
+    0 edges
+
+let union (ts : t list) : t =
+  let u = create () in
+  List.iter (fun t -> ignore (absorb_named u (named_edges t))) ts;
+  u

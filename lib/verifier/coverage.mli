@@ -26,3 +26,18 @@ val merge : t -> (int, unit) Hashtbl.t -> int
 (** Merge a run's local edge set; returns how many were new. *)
 
 val reset : t -> unit
+
+val named_edges : t -> ((string * int) * int) list
+(** Every observed edge as its portable identity — the
+    [(site name, variant)] pair with its hit count — sorted.  Numeric
+    edge ids are interner-order dependent and must not be compared
+    across independently grown maps; these names can be. *)
+
+val absorb_named : t -> ((string * int) * int) list -> int
+(** Merge a {!named_edges} listing (interning sites as needed, summing
+    hit counts); returns how many edges were new to this map. *)
+
+val union : t list -> t
+(** A fresh map holding the union of the given maps' edges (hit counts
+    summed).  Deterministic: sites are interned in sorted name order,
+    regardless of the input maps' interner histories. *)

@@ -196,6 +196,28 @@ let test_corpus_add_pick () =
   done;
   Alcotest.(check bool) "bounded" true (Corpus.size c <= 8)
 
+let test_corpus_of_entries () =
+  let mk added_at new_edges =
+    { Corpus.request = dummy_req; new_edges; added_at; blamed = 0 }
+  in
+  let es = List.init 10 (fun i -> mk (i * 100) (20 - i)) in
+  let c = Corpus.of_entries ~max_size:4 es in
+  Alcotest.(check int) "capped at max_size" 4 (Corpus.size c);
+  (* only the highest-energy entries survive *)
+  let kept = Corpus.entries c in
+  let cut =
+    List.fold_left (fun m e -> min m (Corpus.energy e)) max_int kept
+  in
+  List.iter
+    (fun e ->
+       if not (List.memq e kept) then
+         Alcotest.(check bool) "evicted entries are no stronger" true
+           (Corpus.energy e <= cut))
+    es;
+  (* deterministic in the input order *)
+  Alcotest.(check bool) "rebuild is deterministic" true
+    (Corpus.entries (Corpus.of_entries ~max_size:4 es) = kept)
+
 (* -- Oracle ------------------------------------------------------------------- *)
 
 let test_oracle_indicator_classes () =
@@ -296,6 +318,61 @@ let test_campaign_fixed_kernel_clean () =
   Alcotest.(check int) "no correctness bugs on fixed kernel" 0
     (List.length (Campaign.correctness_bugs_found stats))
 
+let test_campaign_retry_attribution () =
+  (* A transiently failing attempt can record the program's novel edges
+     before dying (e.g. the rewritten-image allocation fails only after
+     verification walked the program); the retry then re-verifies and
+     sees nothing new.  That environment churn must not be credited to
+     the corpus: under fault injection some retried steps grow coverage
+     yet (correctly) add no entry, and a credited entry never claims
+     more edges than the whole step observed. *)
+  let config = Kconfig.default Version.Bpf_next in
+  let failslab = Bvf_kernel.Failslab.create ~rate:0.35 ~seed:13 () in
+  let c = Campaign.create ~failslab ~seed:13 Campaign.bvf_strategy config in
+  let uncredited = ref 0 in
+  for _ = 1 to 400 do
+    let retries_before = c.Campaign.stats.Campaign.st_retries in
+    let size_before = Corpus.size c.Campaign.corpus in
+    let edges_before = Coverage.edge_count c.Campaign.cov in
+    Campaign.step c;
+    let growth = Coverage.edge_count c.Campaign.cov - edges_before in
+    let retried = c.Campaign.stats.Campaign.st_retries > retries_before in
+    let added = Corpus.size c.Campaign.corpus > size_before in
+    if added then
+      (match Corpus.entries c.Campaign.corpus with
+       | e :: _ ->
+         Alcotest.(check bool) "credit bounded by step growth" true
+           (e.Corpus.new_edges <= growth)
+       | [] -> ());
+    if retried && growth > 0 && not added then incr uncredited
+  done;
+  Alcotest.(check bool)
+    "retried steps can grow coverage without corpus credit" true
+    (!uncredited > 0)
+
+let test_campaign_curve_no_duplicate_sample () =
+  (* finalizing a campaign twice (run, snapshot, resume for zero further
+     iterations) used to push a second closing sample at the same
+     iteration, double-counting it in the digest and plotted curves *)
+  let config = Kconfig.default Version.Bpf_next in
+  let c =
+    Campaign.run_t ~sample_every:64 ~seed:11 ~iterations:128
+      Campaign.bvf_strategy config
+  in
+  let s = Campaign.snapshot c in
+  let stats =
+    Campaign.run ~resume_from:s ~seed:11 ~iterations:0
+      Campaign.bvf_strategy config
+  in
+  let iters =
+    List.map (fun sa -> sa.Campaign.sa_iteration) stats.Campaign.st_curve
+  in
+  Alcotest.(check int) "curve samples unique per iteration"
+    (List.length (List.sort_uniq compare iters))
+    (List.length iters);
+  Alcotest.(check bool) "closing sample present" true
+    (List.mem 128 iters)
+
 (* -- Selftests ----------------------------------------------------------------- *)
 
 let test_selftests_all_verified () =
@@ -337,7 +414,8 @@ let () =
           Alcotest.test_case "truncate tail" `Quick
             test_mutate_truncate_valid_tail ] );
       ( "corpus",
-        [ Alcotest.test_case "add/pick" `Quick test_corpus_add_pick ] );
+        [ Alcotest.test_case "add/pick" `Quick test_corpus_add_pick;
+          Alcotest.test_case "of_entries" `Quick test_corpus_of_entries ] );
       ( "oracle",
         [ Alcotest.test_case "indicators" `Quick
             test_oracle_indicator_classes;
@@ -351,7 +429,11 @@ let () =
           Alcotest.test_case "deterministic" `Quick
             test_campaign_deterministic;
           Alcotest.test_case "fixed kernel clean" `Slow
-            test_campaign_fixed_kernel_clean ] );
+            test_campaign_fixed_kernel_clean;
+          Alcotest.test_case "retry attribution" `Slow
+            test_campaign_retry_attribution;
+          Alcotest.test_case "curve dedupe" `Quick
+            test_campaign_curve_no_duplicate_sample ] );
       ( "selftests",
         [ Alcotest.test_case "all verified" `Slow
             test_selftests_all_verified ] );

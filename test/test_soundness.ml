@@ -125,6 +125,102 @@ let neg_abstract_sound =
     (fun (r, x) ->
        member (Check_alu.scalar_op64 Insn.Neg r r) (Int64.neg x))
 
+(* -- Word-boundary ALU soundness ------------------------------------------- *)
+
+(* The kernel's scalar_mul guard exists for operands at the 32/64-bit
+   word edges: both factors fit in 32 bits, so the unsigned product is
+   exact, but it can still exceed S64_MAX and must not be copied into
+   the signed bounds.  Anchor abstract operands at those edges. *)
+let gen_boundary : (Regstate.t * int64) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let anchors =
+    [ 0L; 1L; 2L; 3L; 0x7FFF_FFFFL; 0x8000_0000L; 0x8000_0001L;
+      0xFFFF_FFFEL; 0xFFFF_FFFFL; 0x1_0000_0000L; 0x1_0000_0001L;
+      0x7FFF_FFFF_FFFF_FFFEL; Int64.max_int; Int64.min_int; -2L; -1L ]
+  in
+  let* x = oneofl anchors in
+  let* shape = int_range 0 2 in
+  match shape with
+  | 0 -> return (Regstate.const_scalar x, x)
+  | 1 ->
+    (* a narrow unsigned window starting at the anchor *)
+    let* w = oneofl [ 1L; 0xFFL; 0xFFFFL; 0xFFFF_FFFFL ] in
+    let hi = Int64.add x w in
+    let hi = if Word.ult hi x then -1L (* wrapped: open to U64_MAX *) else hi in
+    return (Regstate.scalar_range ~umin:x ~umax:hi, x)
+  | _ -> return (Regstate.unknown_scalar, x)
+
+let mul_boundary_sound =
+  QCheck2.Test.make ~count:3000 ~name:"mul sound at word boundaries"
+    QCheck2.Gen.(pair gen_boundary gen_boundary)
+    (fun ((ra, a), (rb, b)) ->
+       let r64 = Check_alu.scalar_op64 Insn.Mul ra rb in
+       let p64 = Int64.mul a b in
+       let r32 = Check_alu.scalar_op32 Insn.Mul ra rb in
+       let p32 = Word.to_u32 (Int64.mul (Word.to_u32 a) (Word.to_u32 b)) in
+       if member r64 p64 && member r32 p32 then true
+       else
+         QCheck2.Test.fail_reportf
+           "mul: %Ld * %Ld: 64-bit %Ld in %s = %b, 32-bit %Ld in %s = %b"
+           a b p64 (Regstate.to_string r64) (member r64 p64)
+           p32 (Regstate.to_string r32) (member r32 p32))
+
+let shift_boundary_sound =
+  QCheck2.Test.make ~count:3000 ~name:"shifts sound at word boundaries"
+    QCheck2.Gen.(triple (int_range 0 2) gen_boundary (int_range 0 63))
+    (fun (opi, (ra, a), sh) ->
+       let op = List.nth [ Insn.Lsh; Insn.Rsh; Insn.Arsh ] opi in
+       let s = Int64.of_int sh in
+       let rs = Regstate.const_scalar s in
+       let c64 =
+         match op with
+         | Insn.Lsh -> Word.shl64 a s
+         | Insn.Rsh -> Word.shr64 a s
+         | _ -> Word.ashr64 a s
+       in
+       let c32 =
+         match op with
+         | Insn.Lsh -> Word.shl32 a s
+         | Insn.Rsh -> Word.shr32 (Word.to_u32 a) s
+         | _ -> Word.ashr32 a s
+       in
+       let r64 = Check_alu.scalar_op64 op ra rs in
+       let r32 = Check_alu.scalar_op32 op ra rs in
+       if member r64 c64 && member r32 c32 then true
+       else
+         QCheck2.Test.fail_reportf
+           "%s: %Ld shift %d: 64-bit %Ld in %s = %b, 32-bit %Ld in %s = %b"
+           (Insn.alu_op_to_string op) a sh c64 (Regstate.to_string r64)
+           (member r64 c64) c32 (Regstate.to_string r32) (member r32 c32))
+
+(* Regression for the scalar_mul S64 overflow bug: with both operands in
+   [0, U32_MAX] the unsigned product U32_MAX * U32_MAX is exact but
+   >= 2^63, i.e. negative as a signed value — the transfer function must
+   fall back to unbounded signed range instead of claiming smin = 0
+   (the kernel's adjust_scalar_min_max_vals BPF_MUL guard). *)
+let test_mul_overflow_regression () =
+  let a = Regstate.scalar_range ~umin:0L ~umax:0xFFFF_FFFFL in
+  let r = Check_alu.scalar_op64 Insn.Mul a a in
+  let product = Int64.mul 0xFFFF_FFFFL 0xFFFF_FFFFL in
+  Alcotest.(check bool)
+    (Printf.sprintf "U32_MAX^2 = %Ld is a member of %s" product
+       (Regstate.to_string r))
+    true (member r product);
+  Alcotest.(check bool) "no smin = 0 claim" true (r.Regstate.smin < 0L);
+  Alcotest.(check int64) "unsigned product still exact" product
+    r.Regstate.umax
+
+(* And the safe case keeps the kernel's tight bounds: product below
+   S64_MAX, so signed bounds mirror the unsigned ones. *)
+let test_mul_safe_bounds () =
+  let d = Regstate.scalar_range ~umin:2L ~umax:10L in
+  let s = Regstate.scalar_range ~umin:3L ~umax:7L in
+  let r = Check_alu.scalar_op64 Insn.Mul d s in
+  Alcotest.(check int64) "umin" 6L r.Regstate.umin;
+  Alcotest.(check int64) "umax" 70L r.Regstate.umax;
+  Alcotest.(check int64) "smin = umin" 6L r.Regstate.smin;
+  Alcotest.(check int64) "smax = umax" 70L r.Regstate.smax
+
 (* sync never drops members *)
 let sync_preserves_members =
   QCheck2.Test.make ~count:2000 ~name:"bounds sync preserves members"
@@ -211,6 +307,12 @@ let () =
         [ qt alu64_abstract_sound; qt alu32_abstract_sound;
           qt neg_abstract_sound; qt sync_preserves_members;
           qt truncate_sound ] );
+      ( "word boundaries",
+        [ qt mul_boundary_sound; qt shift_boundary_sound;
+          Alcotest.test_case "mul S64-overflow regression" `Quick
+            test_mul_overflow_regression;
+          Alcotest.test_case "mul safe-case bounds" `Quick
+            test_mul_safe_bounds ] );
       ( "oracle",
         [ qt oracle_soundness; qt oracle_soundness_mutants;
           qt encode_verify_consistent ] );
