@@ -3,8 +3,10 @@
    simulated kernel.
 
      bvf fuzz --kernel bpf-next --iterations 20000 --seed 1 --tool bvf
+     bvf fuzz --witness --iterations 20000
      bvf repro --bug bug1-nullness-propagation
      bvf selftests --count 100
+     bvf lint --count 708 --out lint-report.txt
      bvf experiments table2 *)
 
 module Version = Bvf_ebpf.Version
@@ -70,6 +72,13 @@ let unprivileged_t =
        & info [ "unprivileged" ]
          ~doc:"Load programs without CAP_BPF: stricter verifier checks.")
 
+let witness_t =
+  Arg.(value & flag
+       & info [ "witness" ]
+         ~doc:"Record per-instruction abstract register states during \
+               verification and flag concrete values that escape them \
+               at run time (the indicator#3 witness oracle).")
+
 let failslab_t =
   Arg.(value & opt float 0.0
        & info [ "failslab" ] ~docv:"RATE"
@@ -121,12 +130,13 @@ let print_findings (stats : Campaign.stats) : unit =
 
 let fuzz_cmd =
   let run version seed iterations tool no_sanitize fixed unprivileged
-      failslab_rate failslab_seed checkpoint_path checkpoint_every
+      witness failslab_rate failslab_seed checkpoint_path checkpoint_every
       resume_path jobs =
     let config =
       if fixed then Kconfig.fixed version else Kconfig.default version
     in
     let config = Kconfig.with_sanitize config (not no_sanitize) in
+    let config = Kconfig.with_witness config witness in
     let config = { config with Kconfig.unprivileged } in
     let strategy =
       match tool with
@@ -215,9 +225,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign.")
     Term.(const run $ version_t $ seed_t $ iterations_t $ tool_t
-          $ no_sanitize_t $ fixed_t $ unprivileged_t $ failslab_t
-          $ failslab_seed_t $ checkpoint_t $ checkpoint_every_t
-          $ resume_t $ jobs_t)
+          $ no_sanitize_t $ fixed_t $ unprivileged_t $ witness_t
+          $ failslab_t $ failslab_seed_t $ checkpoint_t
+          $ checkpoint_every_t $ resume_t $ jobs_t)
 
 (* -- repro ------------------------------------------------------------------ *)
 
@@ -307,6 +317,65 @@ let selftests_cmd =
           $ Arg.(value & flag
                  & info [ "dump" ] ~doc:"Disassemble every program."))
 
+(* -- lint --------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run version count out =
+    (* a fixed verifier with the invariant lint enabled, over the
+       self-test corpus: any violation is a well-formedness defect in
+       the abstract domain itself, independent of the dynamic oracle *)
+    let config =
+      Kconfig.with_lint (Kconfig.fixed version) true
+    in
+    let suite = Selftests.build ~count ~config version in
+    let kst = suite.Selftests.session.Loader.kst in
+    let cov = Bvf_verifier.Coverage.create () in
+    let buf = Buffer.create 256 in
+    let total = ref 0 and rejected = ref 0 and violations = ref 0 in
+    List.iteri
+      (fun i req ->
+         incr total;
+         let verdict, vs, n = Verifier.lint kst ~cov req in
+         (match verdict with Ok () -> () | Error _ -> incr rejected);
+         violations := !violations + n;
+         List.iter
+           (fun v ->
+              Buffer.add_string buf
+                (Printf.sprintf "selftest %d: %s\n" i
+                   (Bvf_verifier.Invariants.to_string v)))
+           vs)
+      suite.Selftests.requests;
+    let summary =
+      Printf.sprintf
+        "linted %d self-test programs on %s: %d rejected, %d invariant \
+         violations\n"
+        !total (Version.to_string version) !rejected !violations
+    in
+    print_string summary;
+    print_string (Buffer.contents buf);
+    (match out with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc summary;
+       output_string oc (Buffer.contents buf);
+       close_out oc;
+       Printf.printf "report written to %s\n" path
+     | None -> ());
+    if !violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the verifier-state invariant lint over the self-test \
+             corpus and report any abstract-domain well-formedness \
+             violations.")
+    Term.(const run $ version_t
+          $ Arg.(value & opt int 708
+                 & info [ "count"; "c" ] ~docv:"N"
+                   ~doc:"Number of self-test programs to lint.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "out"; "o" ] ~docv:"PATH"
+                   ~doc:"Also write the lint report to $(docv)."))
+
 (* -- experiments -------------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -338,4 +407,5 @@ let () =
             structured and sanitized programs."
   in
   exit (Cmd.eval (Cmd.group info
-                    [ fuzz_cmd; repro_cmd; selftests_cmd; experiments_cmd ]))
+                    [ fuzz_cmd; repro_cmd; selftests_cmd; lint_cmd;
+                      experiments_cmd ]))

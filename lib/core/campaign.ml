@@ -68,6 +68,8 @@ type stats = {
   mutable st_env_errors : int;  (* transient errors that survived retry *)
   mutable st_retries : int;     (* transient errors retried away *)
   mutable st_quarantined : int; (* corpus entries storm-quarantined *)
+  mutable st_lint : int;        (* invariant-lint violations observed
+                                   (Kconfig.lint); never findings *)
 }
 
 let acceptance_rate (s : stats) : float =
@@ -100,18 +102,23 @@ let fingerprints (s : stats) : string list =
    with equal digests generated the same programs and saw the same
    outcomes.  Used by the checkpoint/resume determinism tests and handy
    for comparing reproduction runs across machines. *)
-let digest (s : stats) : string =
+(* [exclude_finding] drops finding lines whose key matches, so a
+   campaign run with an extra report class (the witness oracle) can be
+   digest-compared against one run without it. *)
+let digest ?(exclude_finding = fun (_ : string) -> false) (s : stats) :
+  string =
   let b = Buffer.create 512 in
-  Printf.bprintf b "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d\n" s.st_tool
+  Printf.bprintf b "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d\n" s.st_tool
     (Version.to_string s.st_version)
     s.st_generated s.st_accepted s.st_rejected s.st_edges s.st_reboots
-    s.st_env_errors s.st_retries s.st_quarantined;
+    s.st_env_errors s.st_retries s.st_quarantined s.st_lint;
   Hashtbl.fold (fun e n acc -> (Venv.errno_to_string e, n) :: acc)
     s.st_errno []
   |> List.sort compare
   |> List.iter (fun (e, n) -> Printf.bprintf b "errno %s %d\n" e n);
   Hashtbl.fold
-    (fun key f acc -> (key, f.fd_iteration) :: acc)
+    (fun key f acc ->
+       if exclude_finding key then acc else (key, f.fd_iteration) :: acc)
     s.st_findings []
   |> List.sort compare
   |> List.iter (fun (key, it) -> Printf.bprintf b "finding %s @%d\n" key it);
@@ -142,7 +149,8 @@ let is_fatal (r : Report.t) : bool =
   | Report.Lock_violation (Lockdep.Recursive_lock _)
   | Report.Lock_violation (Lockdep.Held_at_exit _) -> true
   | Report.Lock_violation _ | Report.Mem_fault _ | Report.Warn _
-  | Report.Alu_limit _ | Report.Runaway_execution -> false
+  | Report.Alu_limit _ | Report.Runaway_execution
+  | Report.Witness_escape _ -> false
 
 (* Transient environment errors (injected allocation failures): eligible
    for retry, never findings. *)
@@ -222,6 +230,7 @@ let create ?(sample_every = 64) ?failslab ~(seed : int)
         st_env_errors = 0;
         st_retries = 0;
         st_quarantined = 0;
+        st_lint = 0;
       };
     session;
     gen_config;
@@ -263,7 +272,9 @@ let step (c : t) : unit =
     stats.st_env_errors <- stats.st_env_errors + 1;
   let new_edges = Coverage.edge_count c.cov - edges_before in
   (match result.Loader.verdict with
-   | Ok _ -> stats.st_accepted <- stats.st_accepted + 1
+   | Ok prog ->
+     stats.st_accepted <- stats.st_accepted + 1;
+     stats.st_lint <- stats.st_lint + prog.Verifier.l_lint_count
    | Error e ->
      stats.st_rejected <- stats.st_rejected + 1;
      let k = e.Venv.errno in
@@ -314,6 +325,8 @@ type snapshot = {
   sn_seed : int;
   sn_sanitize : bool;
   sn_unprivileged : bool;
+  sn_witness : bool;
+  sn_lint : bool;
   sn_completed : int;      (* iterations finished when taken *)
   sn_rng : int64;
   sn_failslab : Bvf_kernel.Failslab.t;
@@ -322,7 +335,7 @@ type snapshot = {
   sn_stats : stats;
 }
 
-let checkpoint_tag = "bvf-campaign/1"
+let checkpoint_tag = "bvf-campaign/2"
 
 let snapshot (c : t) : snapshot =
   {
@@ -331,6 +344,8 @@ let snapshot (c : t) : snapshot =
     sn_seed = c.seed;
     sn_sanitize = c.config.Kconfig.sanitize;
     sn_unprivileged = c.config.Kconfig.unprivileged;
+    sn_witness = c.config.Kconfig.witness;
+    sn_lint = c.config.Kconfig.lint;
     sn_completed = c.stats.st_generated;
     sn_rng = Rng.state c.rng;
     sn_failslab = c.failslab;
@@ -367,7 +382,9 @@ let resume ?(sample_every = 64) (strategy : strategy) (config : Kconfig.t)
             (Version.to_string s.sn_kernel)
             (Version.to_string config.Kconfig.version)));
   if s.sn_sanitize <> config.Kconfig.sanitize
-     || s.sn_unprivileged <> config.Kconfig.unprivileged then
+     || s.sn_unprivileged <> config.Kconfig.unprivileged
+     || s.sn_witness <> config.Kconfig.witness
+     || s.sn_lint <> config.Kconfig.lint then
     raise (Environment "checkpoint was taken under a different config");
   let session = Loader.create ~cov:s.sn_cov ~failslab:s.sn_failslab config in
   let gen_config =
@@ -463,4 +480,6 @@ let pp_summary fmt (s : stats) : unit =
   if s.st_env_errors > 0 || s.st_retries > 0 || s.st_quarantined > 0 then
     Format.fprintf fmt
       "  environment: %d transient errors (%d retried away), %d corpus entries quarantined@."
-      s.st_env_errors s.st_retries s.st_quarantined
+      s.st_env_errors s.st_retries s.st_quarantined;
+  if s.st_lint > 0 then
+    Format.fprintf fmt "  lint: %d invariant violations@." s.st_lint

@@ -54,6 +54,10 @@ type stats = {
       (** transient environment errors retried away *)
   mutable st_quarantined : int;
       (** corpus entries quarantined by the reboot-storm breaker *)
+  mutable st_lint : int;
+      (** invariant-lint violations observed on accepted programs
+          (only when the config enables {!Bvf_kernel.Kconfig.t.lint});
+          a verifier-quality signal, never findings *)
 }
 
 val acceptance_rate : stats -> float
@@ -64,11 +68,14 @@ val fingerprints : stats -> string list
 (** Sorted deduplication keys (fingerprint plus attributed bug) of every
     finding — a campaign's findings identity. *)
 
-val digest : stats -> string
+val digest : ?exclude_finding:(string -> bool) -> stats -> string
 (** Canonical hex digest of everything the campaign observed: counters,
     errno distribution, findings (with discovery iterations) and the
     coverage curve.  Two campaigns with equal digests generated the same
-    programs and saw the same outcomes. *)
+    programs and saw the same outcomes.  [exclude_finding] (default:
+    keep everything) drops finding lines whose dedup key matches, so a
+    run with an extra report class (e.g. the witness oracle) can be
+    compared against one without it. *)
 
 val standard_maps :
   Bvf_runtime.Loader.t -> (int * Bvf_kernel.Map.def) list
@@ -130,6 +137,8 @@ type snapshot = {
   sn_seed : int;
   sn_sanitize : bool;
   sn_unprivileged : bool;
+  sn_witness : bool;
+  sn_lint : bool;
   sn_completed : int; (** iterations finished when taken *)
   sn_rng : int64;
   sn_failslab : Bvf_kernel.Failslab.t;

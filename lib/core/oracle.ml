@@ -13,10 +13,12 @@ open Cimport
 type indicator =
   | Ind1 (* invalid load/store or alu_limit violation in the program *)
   | Ind2 (* anomaly inside an invoked kernel routine *)
+  | Ind3 (* concrete value escaped the verifier's recorded bounds *)
 
 let indicator_to_string = function
   | Ind1 -> "indicator#1"
   | Ind2 -> "indicator#2"
+  | Ind3 -> "indicator#3"
 
 type finding = {
   f_indicator : indicator option; (* None: not gated on the verifier *)
@@ -27,9 +29,12 @@ type finding = {
 }
 
 let classify_indicator (r : Report.t) : indicator =
-  match r.Report.origin with
-  | Report.Sanitizer | Report.Bpf_native -> Ind1
-  | Report.Kernel_routine _ -> Ind2
+  match r.Report.kind with
+  | Report.Witness_escape _ -> Ind3
+  | _ ->
+    (match r.Report.origin with
+     | Report.Sanitizer | Report.Bpf_native -> Ind1
+     | Report.Kernel_routine _ -> Ind2)
 
 (* Ground-truth attribution: which injected bug (of those present in the
    config) explains this report.  This plays the role of the paper's
@@ -104,6 +109,16 @@ let attribute (config : Kconfig.t) (r : Report.t) : Kconfig.bug option =
       Some Kconfig.Bug3_backtrack_precision
     else if has Kconfig.Cve_2022_23222 then Some Kconfig.Cve_2022_23222
     else None
+  | Report.Witness_escape _, _ ->
+    (* a concrete value escaping recorded bounds points at the
+       range/pruning machinery: Bug#3's unsound prune first, then the
+       CVE's null-copy scalars, then Bug#1's mis-marked nullness *)
+    if has Kconfig.Bug3_backtrack_precision then
+      Some Kconfig.Bug3_backtrack_precision
+    else if has Kconfig.Cve_2022_23222 then Some Kconfig.Cve_2022_23222
+    else if has Kconfig.Bug1_nullness_propagation then
+      Some Kconfig.Bug1_nullness_propagation
+    else None
   | (Report.Mem_fault _ | Report.Lock_violation _ | Report.Panic _
     | Report.Warn _ | Report.Runaway_execution), _ -> None
 
@@ -114,29 +129,32 @@ let is_correctness_bug (b : Kconfig.bug) : bool =
   | _, _, `Correctness -> true
   | _, _, (`Memory | `Lock) -> false
 
-(* Classify the outcome of one load(+run) cycle. *)
+(* Classify the outcome of one load(+run) cycle.  Witness escapes only
+   exist for accepted programs (the verifier recorded states along the
+   accepted paths), so they always carry an indicator. *)
 let classify (config : Kconfig.t) (result : Loader.run_result) :
   finding list =
   let accepted = Result.is_ok result.Loader.verdict in
-  List.map
-    (fun report ->
-       let bug = attribute config report in
-       let indicator = if accepted then Some (classify_indicator report)
-         else None in
-       let correctness =
-         accepted
-         && (match bug with
-             | Some b -> is_correctness_bug b
-             | None -> true (* unexplained anomaly in accepted program *))
-       in
-       {
-         f_indicator = indicator;
-         f_report = report;
-         f_bug = bug;
-         f_fingerprint = Report.fingerprint report;
-         f_correctness = correctness;
-       })
-    result.Loader.reports
+  let of_report report =
+    let bug = attribute config report in
+    let indicator = if accepted then Some (classify_indicator report)
+      else None in
+    let correctness =
+      accepted
+      && (match bug with
+          | Some b -> is_correctness_bug b
+          | None -> true (* unexplained anomaly in accepted program *))
+    in
+    {
+      f_indicator = indicator;
+      f_report = report;
+      f_bug = bug;
+      f_fingerprint = Report.fingerprint report;
+      f_correctness = correctness;
+    }
+  in
+  List.map of_report result.Loader.reports
+  @ List.map of_report result.Loader.witness
 
 let finding_to_string (f : finding) : string =
   Printf.sprintf "%s%s%s: %s"

@@ -7,6 +7,8 @@
 type indicator =
   | Ind1 (** invalid load/store or alu_limit violation in the program *)
   | Ind2 (** anomaly inside an invoked kernel routine *)
+  | Ind3 (** concrete value escaped the verifier's recorded bounds
+             (the witness oracle) *)
 
 val indicator_to_string : indicator -> string
 

@@ -174,6 +174,7 @@ let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
       st_env_errors = sum (fun s -> s.Campaign.st_env_errors);
       st_retries = sum (fun s -> s.Campaign.st_retries);
       st_quarantined = sum (fun s -> s.Campaign.st_quarantined);
+      st_lint = sum (fun s -> s.Campaign.st_lint);
     }
 
 let merge_corpora ~(jobs : int) ?(max_size = 256) (shards : shard list) :

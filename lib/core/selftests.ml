@@ -123,9 +123,13 @@ type suite = {
   requests : Verifier.request list; (* all pass the fixed verifier *)
 }
 
-let build ?(count = target_count) (version : Version.t) : suite =
-  (* a fixed kernel: self-tests must pass a correct verifier *)
-  let config = Kconfig.fixed version in
+let build ?(count = target_count) ?config (version : Version.t) : suite =
+  (* a fixed kernel: self-tests must pass a correct verifier.  [config]
+     overrides it for instrumented builds (invariant lint, witness
+     recording) — still a fixed verifier, just with extra observers. *)
+  let config =
+    match config with Some c -> c | None -> Kconfig.fixed version
+  in
   let session = Loader.create config in
   let array_fd =
     Loader.create_map session (Map.array_def ~value_size:48 ())

@@ -17,4 +17,9 @@ type suite = {
 val target_count : int
 (** 708, as in the paper. *)
 
-val build : ?count:int -> Bvf_ebpf.Version.t -> suite
+val build :
+  ?count:int -> ?config:Bvf_kernel.Kconfig.t -> Bvf_ebpf.Version.t ->
+  suite
+(** [config] (default {!Bvf_kernel.Kconfig.fixed}) must still be a
+    fixed verifier; use it to enable observers such as the invariant
+    lint or witness recording. *)

@@ -118,10 +118,15 @@ type t = {
   bugs : bug list;
   sanitize : bool;      (* CONFIG_BPF_ASAN: the paper's patches *)
   unprivileged : bool;  (* stricter checks for unprivileged loads *)
+  lint : bool;          (* CONFIG_BPF_DEBUG: reg_bounds_sanity_check-style
+                           invariant lint at every verifier transition *)
+  witness : bool;       (* record per-insn abstract states for the runtime
+                           concrete-vs-abstract witness oracle *)
 }
 
-let make ?(bugs = []) ?(sanitize = true) ?(unprivileged = false) version =
-  { version; bugs; sanitize; unprivileged }
+let make ?(bugs = []) ?(sanitize = true) ?(unprivileged = false)
+    ?(lint = false) ?(witness = false) version =
+  { version; bugs; sanitize; unprivileged; lint; witness }
 
 (* The configuration the paper's campaigns run against: the version's
    historical bug set, sanitation enabled. *)
@@ -135,3 +140,5 @@ let has (t : t) (b : bug) : bool = List.mem b t.bugs
 
 let with_bugs (t : t) (bugs : bug list) : t = { t with bugs }
 let with_sanitize (t : t) (sanitize : bool) : t = { t with sanitize }
+let with_lint (t : t) (lint : bool) : t = { t with lint }
+let with_witness (t : t) (witness : bool) : t = { t with witness }

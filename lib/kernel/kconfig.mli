@@ -33,10 +33,18 @@ type t = {
   bugs : bug list;
   sanitize : bool;      (** CONFIG_BPF_ASAN: the paper's patches *)
   unprivileged : bool;
+  lint : bool;
+      (** CONFIG_BPF_DEBUG-style invariant lint over every verifier
+          register state; off by default so injected ground-truth bugs
+          still flow to the dynamic oracle *)
+  witness : bool;
+      (** record per-instruction abstract register states so the
+          interpreter can check concrete values against them *)
 }
 
 val make :
   ?bugs:bug list -> ?sanitize:bool -> ?unprivileged:bool ->
+  ?lint:bool -> ?witness:bool ->
   Bvf_ebpf.Version.t -> t
 
 val default : Bvf_ebpf.Version.t -> t
@@ -49,3 +57,5 @@ val fixed : Bvf_ebpf.Version.t -> t
 val has : t -> bug -> bool
 val with_bugs : t -> bug list -> t
 val with_sanitize : t -> bool -> t
+val with_lint : t -> bool -> t
+val with_witness : t -> bool -> t

@@ -23,6 +23,12 @@ type kind =
   | Warn of string
   | Alu_limit of { actual : int64; limit : int64; is_sub : bool }
   | Runaway_execution (* watchdog: program exceeded its fuel *)
+  | Witness_escape of {
+      wreg : int;       (* register whose concrete value escaped *)
+      wvalue : int64;   (* the concrete value *)
+      wclaim : string;  (* the abstract claim it escaped *)
+      wclass : string;  (* "scalar" | "nonnull" *)
+    } (* concrete execution left the verifier's recorded abstract state *)
 
 type t = {
   origin : origin;
@@ -47,6 +53,10 @@ let kind_to_string = function
       (if is_sub then "sub" else "add")
       actual limit
   | Runaway_execution -> "watchdog: runaway program execution"
+  | Witness_escape { wreg; wvalue; wclaim; wclass = _ } ->
+    Printf.sprintf
+      "witness escape: r%d = %Ld outside verifier claim %s" wreg wvalue
+      wclaim
 
 let to_string (t : t) =
   Printf.sprintf "[%s]%s %s"
@@ -79,5 +89,7 @@ let fingerprint (t : t) : string =
     | Alu_limit { is_sub; _ } ->
       Printf.sprintf "alu_limit:%s" (if is_sub then "sub" else "add")
     | Runaway_execution -> "runaway"
+    | Witness_escape { wreg; wclass; _ } ->
+      Printf.sprintf "witness:r%d:%s" wreg wclass
   in
   Printf.sprintf "%s|%s" (origin_to_string t.origin) kind_fp

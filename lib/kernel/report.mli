@@ -14,6 +14,14 @@ type kind =
   | Warn of string
   | Alu_limit of { actual : int64; limit : int64; is_sub : bool }
   | Runaway_execution
+  | Witness_escape of {
+      wreg : int;
+      wvalue : int64;
+      wclaim : string;
+      wclass : string;
+    }
+      (** a concrete register value left the verifier's recorded
+          abstract state (the witness oracle, indicator #3) *)
 
 type t = {
   origin : origin;

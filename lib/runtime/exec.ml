@@ -22,6 +22,11 @@ type result = {
   status : status;
   insns_executed : int;
   reports : Report.t list; (* new reports produced by this run *)
+  witness : Report.t list;
+      (* witness-oracle escapes (Report.Witness_escape), deduplicated.
+         Kept out of [reports]: an escape is evidence, not an abort —
+         execution continues so the run's primary outcome (and the
+         campaign's determinism digest) is unchanged *)
 }
 
 (* Environment errors that model transient resource exhaustion (injected
@@ -66,7 +71,41 @@ type env = {
   baseline_reports : int;
   (* nested program execution on events *)
   run_attached : string -> unit;
+  (* witness oracle: escapes accumulate here, deduplicated by
+     fingerprint, never through Kstate.report (which would abort) *)
+  mutable witness_escapes : Report.t list;
+  witness_seen : (string, unit) Hashtbl.t;
 }
+
+(* Cap per run: a systematically wrong bound would otherwise record an
+   escape at every loop iteration. *)
+let max_witness_escapes = 16
+
+(* Check the concrete register file against the abstract states the
+   verifier recorded for this pc (R0..R10 of the innermost frame). *)
+let check_witness (e : env) ~(pc : int) : unit =
+  match e.prog.Verifier.l_aux.(pc).Venv.witness with
+  | None -> () (* rewrite-emitted insn, or never analyzed *)
+  | Some doms ->
+    for i = 0 to 10 do
+      let v = e.regs.(i) in
+      if not (Bvf_verifier.Witness.contains doms.(i) v)
+         && List.length e.witness_escapes < max_witness_escapes
+      then begin
+        let r =
+          Report.make ~pc Report.Sanitizer
+            (Report.Witness_escape
+               { wreg = i; wvalue = v;
+                 wclaim = Bvf_verifier.Witness.describe doms.(i);
+                 wclass = Bvf_verifier.Witness.wclass doms.(i) })
+        in
+        let fp = Report.fingerprint r in
+        if not (Hashtbl.mem e.witness_seen fp) then begin
+          Hashtbl.replace e.witness_seen fp ();
+          e.witness_escapes <- r :: e.witness_escapes
+        end
+      end
+    done
 
 let new_reports (e : env) : Report.t list =
   let all = Kstate.peek_reports e.kst in
@@ -349,6 +388,7 @@ let run_loop (e : env) : status =
     else begin
       e.fuel <- e.fuel - 1;
       let pc = e.pc in
+      check_witness e ~pc;
       match insns.(pc) with
       | Insn.Alu { op64; op = Insn.Neg; dst; _ } ->
         set e dst
@@ -437,11 +477,12 @@ let run (kst : Kstate.t) ~(run_attached : string -> unit)
         reports =
           (match Kstate.peek_reports kst with
            | [] -> []
-           | l -> [ List.nth l (List.length l - 1) ]) }
+           | l -> [ List.nth l (List.length l - 1) ]);
+        witness = [] }
     end
     else
       { status = Error "offloaded program cannot run on host";
-        insns_executed = 0; reports = [] }
+        insns_executed = 0; reports = []; witness = [] }
   end
   else begin
     let baseline = List.length (Kstate.peek_reports kst) in
@@ -453,7 +494,7 @@ let run (kst : Kstate.t) ~(run_attached : string -> unit)
       List.iter (Kstate.pool_return kst) taken;
       { status =
           Error (Printf.sprintf "ENOMEM: %s allocation failed" what);
-        insns_executed = 0; reports = [] }
+        insns_executed = 0; reports = []; witness = [] }
     in
     match
       Kstate.try_pool_take kst ~site:"exec_stack" ~kind:(Kmem.Stack 0)
@@ -498,6 +539,8 @@ let run (kst : Kstate.t) ~(run_attached : string -> unit)
         henv = { Helpers_impl.pkt = pkt_region };
         baseline_reports = baseline;
         run_attached;
+        witness_escapes = [];
+        witness_seen = Hashtbl.create 4;
       }
     in
     kst.Kstate.prog_depth <- kst.Kstate.prog_depth + 1;
@@ -514,5 +557,6 @@ let run (kst : Kstate.t) ~(run_attached : string -> unit)
     let reports = new_reports e in
     let status = if reports <> [] && status <> Aborted then Aborted
       else status in
-    { status; insns_executed = fuel_limit - e.fuel; reports }
+    { status; insns_executed = fuel_limit - e.fuel; reports;
+      witness = List.rev e.witness_escapes }
   end

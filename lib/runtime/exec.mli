@@ -15,6 +15,10 @@ type result = {
   status : status;
   insns_executed : int;
   reports : Bvf_kernel.Report.t list; (** new reports from this run *)
+  witness : Bvf_kernel.Report.t list;
+      (** witness-oracle escapes ([Report.Witness_escape]),
+          deduplicated; kept out of [reports] so an escape never aborts
+          or reorders the run *)
 }
 
 val is_transient : status -> bool

@@ -59,6 +59,9 @@ type run_result = {
   status : Exec.status option;    (* None if never executed *)
   reports : Report.t list;        (* all new kernel reports *)
   insns_executed : int;
+  witness : Report.t list;        (* witness-oracle escapes (Kconfig
+                                     witness); nested event runs are not
+                                     collected *)
 }
 
 let attach (t : t) (prog : Verifier.loaded) : unit =
@@ -93,7 +96,7 @@ let execute (t : t) (prog : Verifier.loaded) : Exec.result =
     | Error report ->
       Kstate.report t.kst report;
       { Exec.status = Exec.Aborted; insns_executed = 0;
-        reports = [ report ] }
+        reports = [ report ]; witness = [] }
     | Ok _slot ->
       Exec.run t.kst ~run_attached:(fun n -> fire_event t n) prog
   end
@@ -101,6 +104,7 @@ let execute (t : t) (prog : Verifier.loaded) : Exec.result =
     let result =
       Exec.run t.kst ~run_attached:(fun n -> fire_event t n) prog
     in
+    let witness = ref result.Exec.witness in
     (* the direct run above plus one triggering of the attach point *)
     (match prog.Verifier.l_attach with
      | Some tp when result.Exec.status <> Exec.Aborted ->
@@ -108,9 +112,10 @@ let execute (t : t) (prog : Verifier.loaded) : Exec.result =
         | Some tpd ->
           let prev = t.kst.Kstate.lock_ctx in
           t.kst.Kstate.lock_ctx <- tpd.Tracepoint.tp_ctx;
-          let _ =
+          let triggered =
             Exec.run t.kst ~run_attached:(fun n -> fire_event t n) prog
           in
+          witness := !witness @ triggered.Exec.witness;
           t.kst.Kstate.lock_ctx <- prev
         | None -> ())
      | _ -> ());
@@ -119,7 +124,7 @@ let execute (t : t) (prog : Verifier.loaded) : Exec.result =
     let status =
       if fresh <> [] then Exec.Aborted else result.Exec.status
     in
-    { result with Exec.status; reports = fresh }
+    { result with Exec.status; reports = fresh; witness = !witness }
   end
 
 (* The complete cycle the fuzzer performs for each generated input. *)
@@ -130,11 +135,12 @@ let load_and_run (t : t) (req : Verifier.request) : run_result =
     let all = Kstate.peek_reports t.kst in
     { verdict = Error e; status = None;
       reports = List.filteri (fun i _ -> i >= baseline) all;
-      insns_executed = 0 }
+      insns_executed = 0; witness = [] }
   | Ok prog ->
     attach t prog;
     let result = execute t prog in
     let all = Kstate.peek_reports t.kst in
     { verdict = Ok prog; status = Some result.Exec.status;
       reports = List.filteri (fun i _ -> i >= baseline) all;
-      insns_executed = result.Exec.insns_executed }
+      insns_executed = result.Exec.insns_executed;
+      witness = result.Exec.witness }

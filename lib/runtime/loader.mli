@@ -34,6 +34,8 @@ type run_result = {
   status : Exec.status option; (** [None] if never executed *)
   reports : Bvf_kernel.Report.t list; (** all new kernel reports *)
   insns_executed : int;
+  witness : Bvf_kernel.Report.t list;
+      (** witness-oracle escapes, when the config records witnesses *)
 }
 
 val attach : t -> Bvf_verifier.Verifier.loaded -> unit

@@ -255,6 +255,21 @@ let run (env : Venv.t) : unit =
     if maybe_prune env ~pc targets then next_path ()
     else begin
       env.Venv.aux.(pc).Venv.seen <- true;
+      (* soundness sanitizer hooks: record the abstract register file
+         this (non-pruned) visit runs under, and lint the whole state.
+         A pruned visit needs no record: its state is subsumed by a
+         stored one whose continuation was recorded — unless the pruning
+         itself is unsound, which is exactly what the runtime witness
+         check then exposes. *)
+      if env.Venv.config.Kconfig.witness then begin
+        let here = Witness.of_state env.Venv.st in
+        env.Venv.aux.(pc).Venv.witness <-
+          (match env.Venv.aux.(pc).Venv.witness with
+           | None -> Some here
+           | Some prev -> Some (Witness.join_states prev here))
+      end;
+      if env.Venv.config.Kconfig.lint then
+        Venv.record_lint env (Invariants.check_state ~pc env.Venv.st);
       Venv.logf env "%d: %s\n" pc (Insn.to_string insns.(pc));
       match insns.(pc) with
       | Insn.Alu { op64; op; dst; src } ->

@@ -70,6 +70,35 @@ let rec branch_verdict (cond : Insn.cond) (d : t) (s : t) : verdict =
     end
     else Unknown
 
+(* 32-bit signed view of a zero-extended 32-bit scalar: the executor's
+   w-signed compares sign-extend the low word, so a value with bit 31
+   set reads as negative even though its zero-extended bounds are
+   positive.  Reinterpret the signed bounds accordingly; sext32 is
+   monotone on each half of the u32 range, so when the range does not
+   cross 2^31 the endpoints map directly. *)
+let sext32_view (r : t) : t =
+  if Word.ule r.umax 0x7FFF_FFFFL then r
+  else if Word.uge r.umin 0x8000_0000L then
+    { r with smin = Word.sext32 r.umin; smax = Word.sext32 r.umax }
+  else
+    { r with smin = Int64.of_int32 Int32.min_int;
+      smax = Int64.of_int32 Int32.max_int }
+
+(* Branch verdict at either width.  At 32 bits the operands are viewed
+   through their low words (zero-extended for the unsigned and equality
+   conditions, sign-extended for the signed ones), matching the
+   executor's eval_cond. *)
+let branch_verdict_width ~(op32 : bool) (cond : Insn.cond) (d : t) (s : t)
+  : verdict =
+  if not op32 then branch_verdict cond d s
+  else begin
+    let d = Regstate.truncate32 d and s = Regstate.truncate32 s in
+    match cond with
+    | Insn.Jsgt | Insn.Jsge | Insn.Jslt | Insn.Jsle ->
+      branch_verdict cond (sext32_view d) (sext32_view s)
+    | _ -> branch_verdict cond d s
+  end
+
 (* Refine [d] and [s] under the assumption that [d cond s] holds.
    Returns None when the assumption is contradictory (dead branch). *)
 let refine (cond : Insn.cond) (d : t) (s : t) : (t * t) option =
@@ -163,6 +192,27 @@ let refine_false (cond : Insn.cond) (d : t) (s : t) : (t * t) option =
   | Insn.Jsge -> refine Insn.Jslt d s
   | Insn.Jslt -> refine Insn.Jsge d s
   | Insn.Jsle -> refine Insn.Jsgt d s
+
+(* Branch refinement at either width.  The 64-bit refinement rules are
+   only sound at 32 bits when every tracked value reads the same under
+   the 32-bit interpretation: unsigned and equality conditions need the
+   values to fit 32 bits (umax <= U32_MAX, so zero-extension is the
+   identity); signed conditions additionally need bit 31 clear
+   (umax <= S32_MAX), else sign-extension flips the order.  Outside
+   that window the registers are left unrefined. *)
+let refine_width ~(op32 : bool) ~(neg : bool) (cond : Insn.cond) (d : t)
+    (s : t) : (t * t) option =
+  let f = if neg then refine_false else refine in
+  if not op32 then f cond d s
+  else begin
+    let limit =
+      match cond with
+      | Insn.Jsgt | Insn.Jsge | Insn.Jslt | Insn.Jsle -> 0x7FFF_FFFFL
+      | _ -> 0xFFFF_FFFFL
+    in
+    if Word.ule d.umax limit && Word.ule s.umax limit then f cond d s
+    else Some (d, s)
+  end
 
 (* -- Pointer-related branch semantics ---------------------------------- *)
 
@@ -317,9 +367,7 @@ let check (env : Venv.t) ~(pc : int) ~(op32 : bool) (cond : Insn.cond)
     end
     else begin
       (* scalar comparison: dead-branch detection + refinement *)
-      let dv = if op32 then Regstate.truncate32 d else d in
-      let sv = if op32 then Regstate.truncate32 s_state else s_state in
-      match branch_verdict cond dv sv with
+      match branch_verdict_width ~op32 cond d s_state with
       | Always ->
         Venv.cov env "jmp:static" ~v:1;
         Taken_only cur
@@ -327,9 +375,6 @@ let check (env : Venv.t) ~(pc : int) ~(op32 : bool) (cond : Insn.cond)
         Venv.cov env "jmp:static" ~v:0;
         Fall_only cur
       | Unknown ->
-        (* refinement is only sound at full width, or when the value is
-           known to fit in 32 bits *)
-        let refinable r = (not op32) || Word.ule r.umax 0xFFFF_FFFFL in
         let apply st refined_d refined_s =
           Vstate.set_reg st dst refined_d;
           (match src_reg with
@@ -345,16 +390,14 @@ let check (env : Venv.t) ~(pc : int) ~(op32 : bool) (cond : Insn.cond)
                 | Insn.Jge -> 3 | Insn.Jlt -> 4 | Insn.Jle -> 5
                 | Insn.Jsgt -> 6 | Insn.Jsge -> 7 | Insn.Jslt -> 8
                 | Insn.Jsle -> 9 | Insn.Jset -> 10);
-        if refinable d && refinable s_state then begin
-          let taken_st = Vstate.copy cur and fall_st = cur in
-          match refine cond d s_state, refine_false cond d s_state with
-          | Some (td, ts), Some (fd, fs) ->
-            Both (apply taken_st td ts, apply fall_st fd fs)
-          | Some (td, ts), None -> Taken_only (apply taken_st td ts)
-          | None, Some (fd, fs) -> Fall_only (apply fall_st fd fs)
-          | None, None ->
-            (* both contradictory: bounds were already inconsistent *)
-            Fall_only fall_st
-        end
-        else Both (Vstate.copy cur, cur)
+        let taken_st = Vstate.copy cur and fall_st = cur in
+        (match refine_width ~op32 ~neg:false cond d s_state,
+               refine_width ~op32 ~neg:true cond d s_state with
+         | Some (td, ts), Some (fd, fs) ->
+           Both (apply taken_st td ts, apply fall_st fd fs)
+         | Some (td, ts), None -> Taken_only (apply taken_st td ts)
+         | None, Some (fd, fs) -> Fall_only (apply fall_st fd fs)
+         | None, None ->
+           (* both contradictory: bounds were already inconsistent *)
+           Fall_only fall_st)
     end

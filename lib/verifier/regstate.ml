@@ -156,7 +156,26 @@ let bound_offset (r : t) : t =
     var_off =
       Tnum.intersect r.var_off (Tnum.range ~min:r.umin ~max:r.umax) }
 
-let sync (r : t) : t = bound_offset (deduce_bounds (update_bounds r))
+(* One propagation round is not a fixpoint: bound_offset can shrink
+   var_off below the unsigned range (e.g. umin=1, umax=2 with
+   var_off={0;mask=5} intersects down to {0;mask=1}, whose hull tops out
+   at 1 < umax), and the tightened tnum then implies tighter ranges that
+   the single pass never re-derives.  Iterate the kernel's
+   update/deduce/bound trio until stable — the domains are finite
+   lattices and every step only tightens, so this terminates (bounded
+   anyway, defensively). *)
+let sync_round (r : t) : t = bound_offset (deduce_bounds (update_bounds r))
+
+let equal_bounds (a : t) (b : t) : bool =
+  a.smin = b.smin && a.smax = b.smax && a.umin = b.umin && a.umax = b.umax
+  && Tnum.equal a.var_off b.var_off
+
+let sync (r : t) : t =
+  let rec fix r n =
+    let r' = sync_round r in
+    if n = 0 || equal_bounds r r' then r' else fix r' (n - 1)
+  in
+  fix r 8
 
 (* An impossible range means the verifier followed a dead branch. *)
 let is_bottom (r : t) : bool =

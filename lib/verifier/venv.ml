@@ -40,12 +40,15 @@ type aux = {
   mutable exception_handled : bool;(* BTF-pointer load: faults handled *)
   mutable call_helper : Helper.t option; (* resolved helper at this call *)
   mutable seen : bool;             (* reached by the analysis *)
+  mutable witness : Witness.dom array option;
+      (* abstract R0..R10 joined over every non-pruned visit; None for
+         insns the analysis never reached or that a rewrite emitted *)
 }
 
 let fresh_aux () =
   { ptr_kind = None; alu_limit = None; rewritten = false;
     skip_sanitize = false; exception_handled = false; call_helper = None;
-    seen = false }
+    seen = false; witness = None }
 
 type t = {
   kst : Kstate.t;
@@ -71,6 +74,9 @@ type t = {
   log_level : int;
   cov : Coverage.t;
   local_edges : (int, unit) Hashtbl.t;
+  (* invariant-lint violations (newest first, capped), Kconfig.lint *)
+  mutable lint : Invariants.violation list;
+  mutable lint_count : int;
 }
 
 (* Complexity budget: the scaled-down analogue of BPF_COMPLEXITY_LIMIT. *)
@@ -98,7 +104,20 @@ let create ~(kst : Kstate.t) ~(prog_type : Prog.prog_type)
     log_level;
     cov;
     local_edges = Hashtbl.create 256;
+    lint = [];
+    lint_count = 0;
   }
+
+(* Keep at most this many lint violations per load (a broken invariant
+   at a hot pc would otherwise record once per visit). *)
+let max_lint_records = 64
+
+let record_lint (t : t) (vs : Invariants.violation list) : unit =
+  List.iter
+    (fun v ->
+       t.lint_count <- t.lint_count + 1;
+       if List.length t.lint < max_lint_records then t.lint <- v :: t.lint)
+    vs
 
 let has_bug (t : t) (b : Kconfig.bug) : bool = Kconfig.has t.config b
 

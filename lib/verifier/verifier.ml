@@ -33,6 +33,8 @@ type loaded = {
   l_orig_len : int;              (* pre-rewrite instruction count *)
   l_log : string;                (* verifier log *)
   l_insn_processed : int;        (* verification effort *)
+  l_lint : Invariants.violation list; (* Kconfig.lint violations (capped) *)
+  l_lint_count : int;            (* total, including dropped-by-cap *)
 }
 
 (* kmalloc allocation limit for the Bug#8 kmemdup path (bytes). *)
@@ -210,6 +212,8 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             l_orig_len = n;
             l_log = Buffer.contents env.Venv.log;
             l_insn_processed = env.Venv.insn_processed;
+            l_lint = List.rev env.Venv.lint;
+            l_lint_count = env.Venv.lint_count;
           }
         end
 
@@ -241,3 +245,38 @@ let verify (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
       (match Analyze.run env with
        | exception Venv.Reject verr -> Error verr
        | () -> Ok ())
+
+(* Verification plus the invariant-lint results, whatever the verdict:
+   the [bvf lint] entry point.  The lint observes states the analysis
+   visited before any rejection, so a rejected program still reports
+   what the verifier's bookkeeping looked like on the way. *)
+let lint (kst : Kstate.t) ~(cov : Coverage.t) (req : request) :
+  (unit, Venv.verr) result * Invariants.violation list * int =
+  let n = Array.length req.r_insns in
+  if n = 0 || n > Prog.max_insns then
+    (Error { Venv.errno = (if n = 0 then Venv.EINVAL else Venv.E2BIG);
+             vmsg = "size"; vpc = 0 }, [], 0)
+  else if uses_reserved req.r_insns then
+    (Error { Venv.errno = Venv.EINVAL;
+             vmsg = "program uses reserved register or helper"; vpc = 0 },
+     [], 0)
+  else
+    match check_privilege kst req with
+    | Error e -> (Error e, [], 0)
+    | Ok () ->
+    match resolve_map_fds kst req.r_insns with
+    | Error e -> (Error e, [], 0)
+    | Ok () ->
+    match resolve_attach kst req with
+    | Error e -> (Error e, [], 0)
+    | Ok attach ->
+      let env =
+        Venv.create ~kst ~prog_type:req.r_prog_type ~attach ~cov
+          req.r_insns
+      in
+      let verdict =
+        match Analyze.run env with
+        | exception Venv.Reject verr -> Error verr
+        | () -> Ok ()
+      in
+      (verdict, List.rev env.Venv.lint, env.Venv.lint_count)

@@ -31,6 +31,9 @@ type loaded = {
   l_orig_len : int;
   l_log : string;                  (** verifier log *)
   l_insn_processed : int;          (** verification effort *)
+  l_lint : Invariants.violation list;
+      (** invariant-lint violations (capped), when [Kconfig.lint] *)
+  l_lint_count : int;              (** total violations incl. dropped *)
 }
 
 val kmalloc_max : int
@@ -50,3 +53,10 @@ val verify :
   (unit, Venv.verr) result
 (** Verification only (no rewrites): used by tests and the acceptance
     experiment. *)
+
+val lint :
+  Bvf_kernel.Kstate.t -> cov:Coverage.t -> request ->
+  (unit, Venv.verr) result * Invariants.violation list * int
+(** Verification plus invariant-lint results, whatever the verdict:
+    the [bvf lint] entry point.  Requires a [Kconfig.lint]-enabled
+    kernel state to record anything. *)

@@ -1,0 +1,101 @@
+open Vimport
+
+(* The witness domain: the slice of the verifier's abstract register
+   state that a concrete interpreter value can be checked against.
+
+   During analysis the verifier records, per instruction, one [dom] per
+   register (built by [of_state], widened across paths by [join]).  At
+   runtime [contains] asks whether the concrete register value is a
+   member.  A "no" means the verifier claimed bounds the execution
+   escaped — a correctness bug by the same argument as the paper's
+   indicators, caught without waiting for the bad value to reach a
+   memory access.
+
+   Deliberate abstractions to keep the check sound:
+   - nullable pointers and BTF pointers collapse to [W_top]: both are
+     legitimately NULL (or a small offset off NULL) at runtime even
+     under a correct verifier (paper Listing 2);
+   - non-null pointers only claim "not in the null page" — the
+     simulated address-space layout, not the abstract offset, decides
+     where objects live;
+   - a scalar with no knowledge at all collapses to [W_top] so the
+     common case costs one tag test. *)
+
+type dom =
+  | W_top
+  | W_scalar of {
+      umin : int64;
+      umax : int64;
+      smin : int64;
+      smax : int64;
+      var_off : Tnum.t;
+    }
+  | W_nonnull
+
+let is_unknown_scalar (r : Regstate.t) : bool =
+  r.Regstate.umin = 0L && r.Regstate.umax = -1L
+  && r.Regstate.smin = Int64.min_int && r.Regstate.smax = Int64.max_int
+  && Tnum.is_unknown r.Regstate.var_off
+
+let of_reg (r : Regstate.t) : dom =
+  match r.Regstate.kind with
+  | Regstate.Not_init -> W_top
+  | Regstate.Scalar ->
+    if is_unknown_scalar r then W_top
+    else
+      W_scalar
+        { umin = r.Regstate.umin; umax = r.Regstate.umax;
+          smin = r.Regstate.smin; smax = r.Regstate.smax;
+          var_off = r.Regstate.var_off }
+  | Regstate.Ptr p ->
+    if p.Regstate.maybe_null then W_top
+    else (
+      match p.Regstate.pk with
+      | Regstate.P_btf _ -> W_top (* NULL at runtime under a correct verifier *)
+      | _ -> W_nonnull)
+
+(* One dom per register of the innermost frame: what Exec's register
+   file holds at this pc. *)
+let of_state (st : Vstate.t) : dom array =
+  Array.map of_reg (Vstate.cur_frame st).Vstate.regs
+
+let join (a : dom) (b : dom) : dom =
+  match a, b with
+  | W_top, _ | _, W_top -> W_top
+  | W_nonnull, W_nonnull -> W_nonnull
+  | W_scalar x, W_scalar y ->
+    W_scalar
+      { umin = Word.umin x.umin y.umin; umax = Word.umax x.umax y.umax;
+        smin = Word.smin x.smin y.smin; smax = Word.smax x.smax y.smax;
+        var_off = Tnum.union x.var_off y.var_off }
+  | W_scalar _, W_nonnull | W_nonnull, W_scalar _ -> W_top
+
+let join_states (a : dom array) (b : dom array) : dom array =
+  Array.init (Array.length a) (fun i -> join a.(i) b.(i))
+
+let contains (d : dom) (x : int64) : bool =
+  match d with
+  | W_top -> true
+  | W_scalar s ->
+    s.smin <= x && x <= s.smax
+    && Word.ule s.umin x && Word.ule x s.umax
+    && Tnum.contains s.var_off x
+  | W_nonnull ->
+    (* "not NULL" concretely: outside the unmapped null page *)
+    Word.uge x Bvf_kernel.Kmem.null_page_limit
+
+let wclass (d : dom) : string =
+  match d with
+  | W_top -> "top"
+  | W_scalar _ -> "scalar"
+  | W_nonnull -> "nonnull"
+
+let describe (d : dom) : string =
+  match d with
+  | W_top -> "unconstrained"
+  | W_scalar s ->
+    Printf.sprintf "scalar(umin=%Lu,umax=%Lu,smin=%Ld,smax=%Ld%s)"
+      s.umin s.umax s.smin s.smax
+      (if Tnum.is_unknown s.var_off then ""
+       else ",var_off=" ^ Tnum.to_string s.var_off)
+  | W_nonnull -> "non-null pointer"

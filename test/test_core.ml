@@ -245,7 +245,7 @@ let test_oracle_rejected_is_not_correctness () =
       reports =
         [ Report.make (Report.Kernel_routine "bpf_prog_load")
             (Report.Warn "kmemdup of rewritten insns failed") ];
-      insns_executed = 0 }
+      insns_executed = 0; witness = [] }
   in
   match Oracle.classify config result with
   | [ f ] ->
