@@ -1,25 +1,34 @@
 (* The bvf command line: fuzz campaigns, single-bug reproducers,
-   self-test corpus inspection and program disassembly over the
-   simulated kernel.
+   self-test corpus inspection, verifier-log explanation, JSONL trace
+   aggregation and program disassembly over the simulated kernel.
 
      bvf fuzz --kernel bpf-next --iterations 20000 --seed 1 --tool bvf
      bvf fuzz --witness --iterations 20000
+     bvf fuzz --seed 1 --trace trace.jsonl --log-level 1
+     bvf explain 42
+     bvf stats trace.jsonl --fail-on-unknown
      bvf repro --bug bug1-nullness-propagation
      bvf selftests --count 100
      bvf lint --count 708 --out lint-report.txt
      bvf experiments table2 *)
 
 module Version = Bvf_ebpf.Version
+module Prog = Bvf_ebpf.Prog
 module Disasm = Bvf_ebpf.Disasm
 module Kconfig = Bvf_kernel.Kconfig
 module Failslab = Bvf_kernel.Failslab
 module Checkpoint = Bvf_core.Checkpoint
 module Verifier = Bvf_verifier.Verifier
+module Venv = Bvf_verifier.Venv
+module Reject_reason = Bvf_verifier.Reject_reason
 module Loader = Bvf_runtime.Loader
 module Campaign = Bvf_core.Campaign
 module Parallel = Bvf_core.Parallel
+module Telemetry = Bvf_core.Telemetry
 module Oracle = Bvf_core.Oracle
 module Selftests = Bvf_core.Selftests
+module Rng = Bvf_core.Rng
+module Gen = Bvf_core.Gen
 module E = Bvf_experiments.Experiments
 
 open Cmdliner
@@ -116,6 +125,42 @@ let jobs_t =
                (shard i fuzzes with seed+i; coverage, findings and the \
                corpus are merged).  $(docv)=1 is the sequential path.")
 
+let trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Write a JSONL telemetry trace to $(docv): one event per \
+               generated/accepted/rejected program (with its rejection \
+               reason), finding and checkpoint, plus a closing phase \
+               profile.  Inspect with $(b,bvf stats).")
+
+let log_level_t =
+  Arg.(value & opt int 0
+       & info [ "log-level" ] ~docv:"N"
+         ~doc:"Verifier log level for every load: 0 silent, 1 \
+               per-instruction decisions, 2 adds register states \
+               (mirrors the kernel's log_level attr).")
+
+(* The closing profile record is appended by the CLI, not emitted by
+   the campaign: traces stay byte-deterministic for a fixed seed, and
+   the profile carries the only wall-clock times in the file. *)
+let append_profile (path : string) (stats : Campaign.stats)
+    ~(wall_s : float) : unit =
+  let ev =
+    Telemetry.Profile
+      {
+        programs = stats.Campaign.st_generated;
+        gen_s = stats.Campaign.st_gen_s;
+        verify_s = stats.Campaign.st_verify_s;
+        sanitize_s = stats.Campaign.st_sanitize_s;
+        exec_s = stats.Campaign.st_exec_s;
+        wall_s;
+      }
+  in
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc (Telemetry.to_json ev);
+  output_char oc '\n';
+  close_out oc
+
 let print_findings (stats : Campaign.stats) : unit =
   let findings =
     Hashtbl.fold (fun _ f acc -> f :: acc) stats.Campaign.st_findings []
@@ -131,7 +176,7 @@ let print_findings (stats : Campaign.stats) : unit =
 let fuzz_cmd =
   let run version seed iterations tool no_sanitize fixed unprivileged
       witness failslab_rate failslab_seed checkpoint_path checkpoint_every
-      resume_path jobs =
+      resume_path jobs trace log_level =
     let config =
       if fixed then Kconfig.fixed version else Kconfig.default version
     in
@@ -164,9 +209,10 @@ let fuzz_cmd =
       config.Kconfig.sanitize strategy.Campaign.s_name
       (if jobs > 1 then Printf.sprintf " across %d domains" jobs else "");
     if jobs > 1 then begin
+      let t0 = Unix.gettimeofday () in
       let result =
         try
-          Parallel.run ~jobs
+          Parallel.run ~jobs ?trace ~log_level
             ?failslab_rate:
               (if failslab_rate > 0.0 then Some failslab_rate else None)
             ?failslab_seed ~seed ~iterations strategy config
@@ -174,6 +220,11 @@ let fuzz_cmd =
           Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
           exit 3
       in
+      (match trace with
+       | Some path ->
+         append_profile path result.Parallel.pr_stats
+           ~wall_s:(Unix.gettimeofday () -. t0)
+       | None -> ());
       Format.printf "%a" Parallel.pp_summary result;
       Printf.printf "merged digest: %s\n" (Parallel.digest result);
       print_findings result.Parallel.pr_stats
@@ -203,18 +254,31 @@ let fuzz_cmd =
                ~seed:(Option.value failslab_seed ~default:seed) ())
         | None -> None
       in
+      let telemetry =
+        match trace with
+        | Some path -> Telemetry.create path
+        | None -> Telemetry.null
+      in
+      let t0 = Unix.gettimeofday () in
       let stats =
         try
           Campaign.run
+            ~telemetry ~log_level
             ~checkpoint_every
             ?checkpoint_path
             ?failslab
             ?resume_from
             ~seed ~iterations strategy config
         with Campaign.Environment msg ->
+          Telemetry.close telemetry;
           Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
           exit 3
       in
+      Telemetry.close telemetry;
+      (match trace with
+       | Some path ->
+         append_profile path stats ~wall_s:(Unix.gettimeofday () -. t0)
+       | None -> ());
       Format.printf "%a" Campaign.pp_summary stats;
       (match failslab with
        | Some plan when Failslab.enabled plan ->
@@ -227,7 +291,110 @@ let fuzz_cmd =
     Term.(const run $ version_t $ seed_t $ iterations_t $ tool_t
           $ no_sanitize_t $ fixed_t $ unprivileged_t $ witness_t
           $ failslab_t $ failslab_seed_t $ checkpoint_t
-          $ checkpoint_every_t $ resume_t $ jobs_t)
+          $ checkpoint_every_t $ resume_t $ jobs_t $ trace_t
+          $ log_level_t)
+
+(* -- explain ---------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run version seed tool unprivileged log_level =
+    (* regenerate the seed's first program exactly the way a campaign's
+       iteration 0 would (same strategy, same RNG stream, same standard
+       map population), then replay the verifier with the log on *)
+    let config = Kconfig.default version in
+    let config = { config with Kconfig.unprivileged } in
+    let strategy =
+      match tool with
+      | `Bvf -> Campaign.bvf_strategy
+      | `Syz -> Bvf_baselines.Syz_gen.strategy
+      | `Buzzer -> Bvf_baselines.Buzzer_gen.strategy ()
+    in
+    let session = Loader.create config in
+    let gen_config =
+      { Gen.c_version = version;
+        c_maps = Campaign.standard_maps session }
+    in
+    let rng = Rng.create seed in
+    let req = strategy.Campaign.s_generate rng gen_config None in
+    Printf.printf "seed %d, %s, %s: %d-insn %s program\n\n" seed
+      strategy.Campaign.s_name
+      (Version.to_string version)
+      (Array.length req.Verifier.r_insns)
+      (Prog.prog_type_to_string req.Verifier.r_prog_type);
+    print_string (Disasm.prog_to_string req.Verifier.r_insns);
+    let verdict, log =
+      Verifier.load_with_log session.Loader.kst ~cov:session.Loader.cov
+        ~log_level req
+    in
+    if log <> "" then begin
+      Printf.printf "\nverifier log (level %d):\n" log_level;
+      print_string log
+    end;
+    match verdict with
+    | Ok prog ->
+      Printf.printf
+        "\nverdict: ACCEPTED (prog id %d, %d insns after rewrite, %d \
+         insns processed)\n"
+        prog.Verifier.l_id
+        (Array.length prog.Verifier.l_insns)
+        prog.Verifier.l_insn_processed
+    | Error e ->
+      Printf.printf "\nverdict: REJECTED at pc %d with -%s\n  %s\n"
+        e.Venv.vpc
+        (Venv.errno_to_string e.Venv.errno)
+        e.Venv.vmsg;
+      Printf.printf "reason: %s (%s)\n"
+        (Reject_reason.to_string e.Venv.vreason)
+        (Reject_reason.describe e.Venv.vreason)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Regenerate a seed's program and replay the verifier with \
+             the log enabled: the disassembly, the per-instruction log, \
+             the verdict and the rejection taxonomy bucket.")
+    Term.(const run $ version_t
+          $ Arg.(required & pos 0 (some int) None
+                 & info [] ~docv:"SEED"
+                   ~doc:"RNG seed whose first generated program to \
+                         explain.")
+          $ tool_t $ unprivileged_t
+          $ Arg.(value & opt int 2
+                 & info [ "log-level" ] ~docv:"N"
+                   ~doc:"Verifier log level (default 2: instructions \
+                         plus register states)."))
+
+(* -- stats ------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run path fail_on_unknown =
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "bvf stats: no such trace file: %s\n" path;
+      exit 2
+    end;
+    let events = Telemetry.read_file path in
+    let summary = Telemetry.summarize events in
+    Format.printf "%a" Telemetry.pp_summary summary;
+    let unknown = Telemetry.unknown_rejections summary in
+    if unknown > 0 then
+      Printf.printf
+        "\n%d rejections are unclassified (reason=unknown): the \
+         taxonomy in lib/verifier/reject_reason.ml has a gap\n"
+        unknown;
+    if fail_on_unknown && unknown > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Aggregate a JSONL trace written by $(b,bvf fuzz --trace): \
+             acceptance by program type, the rejection taxonomy \
+             histogram and the phase profile.")
+    Term.(const run
+          $ Arg.(required & pos 0 (some string) None
+                 & info [] ~docv:"TRACE"
+                   ~doc:"Trace file written by --trace.")
+          $ Arg.(value & flag
+                 & info [ "fail-on-unknown" ]
+                   ~doc:"Exit 1 if any rejection is unclassified — the \
+                         CI gate that keeps the taxonomy total."))
 
 (* -- repro ------------------------------------------------------------------ *)
 
@@ -407,5 +574,5 @@ let () =
             structured and sanitized programs."
   in
   exit (Cmd.eval (Cmd.group info
-                    [ fuzz_cmd; repro_cmd; selftests_cmd; lint_cmd;
-                      experiments_cmd ]))
+                    [ fuzz_cmd; explain_cmd; stats_cmd; repro_cmd;
+                      selftests_cmd; lint_cmd; experiments_cmd ]))

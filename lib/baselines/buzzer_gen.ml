@@ -127,6 +127,28 @@ let generate (mode : mode) (rng : Rng.t) (cfg : Gen.config) :
   | Random_bytes -> generate_random_bytes rng
   | Alu_jmp -> generate_alu_jmp ~maps:cfg.Gen.c_maps rng
 
+(* Where each mode's programs die in the verifier.  Random bytes are
+   overwhelmingly not even decodable (bad opcodes, reserved fields) —
+   they materialize as poison the CFG check rejects first — so nearly
+   every rejection is structural; the ALU/JMP mode emits well-formed
+   arithmetic over initialized registers and is rejected almost only
+   when a random jump breaks the CFG.  Kept in rough
+   expected-frequency order; the telemetry test checks the observed
+   table is a subset of this list. *)
+let expected_rejections (mode : mode) : Bvf_verifier.Reject_reason.t list =
+  match mode with
+  | Random_bytes ->
+    Bvf_verifier.Reject_reason.
+      [
+        Bad_cfg; Bad_insn; Uninit_access; Type_mismatch; Bad_ctx_access;
+        Oob_access; Bad_ptr_arith; Ptr_leak; Bad_helper_arg;
+        Helper_unavailable; Bad_return_value; Unbounded_loop; Bad_map_op;
+        Insn_limit; Prog_size;
+      ]
+  | Alu_jmp ->
+    Bvf_verifier.Reject_reason.
+      [ Bad_cfg; Unbounded_loop; Insn_limit; Bad_return_value ]
+
 (* The paper's coverage comparison runs Buzzer's effective mode. *)
 let strategy ?(mode = Alu_jmp) () : Bvf_core.Campaign.strategy =
   {

@@ -261,6 +261,22 @@ let generate (rng : Rng.t) (cfg : Gen.config) : Verifier.request =
   { Verifier.r_prog_type = prog_type; r_attach = attach;
     r_offload = Rng.chance rng 0.02; r_insns = insns }
 
+(* Where this generator's programs die in the verifier.  With no
+   register-state tracking, templates dereference or leak whatever
+   happens to be in a register, so the taxonomy is dominated by memory
+   and type errors rather than structural ones.  Kept in rough
+   expected-frequency order; the telemetry test checks the observed
+   table is a subset of this list. *)
+let expected_rejections : Bvf_verifier.Reject_reason.t list =
+  Bvf_verifier.Reject_reason.
+    [
+      Uninit_access; Type_mismatch; Bad_ctx_access; Oob_access;
+      Bad_ptr_arith; Ptr_leak; Null_deref; Bad_helper_arg;
+      Helper_unavailable; Bad_return_value; Bad_insn; Bad_cfg;
+      Unbounded_loop; Bad_map_op; Bad_attach; Priv;
+      Insn_limit; Lock_violation; Ref_leak; Prog_size;
+    ]
+
 let strategy : Bvf_core.Campaign.strategy =
   {
     Bvf_core.Campaign.s_name = "Syzkaller";

@@ -13,4 +13,12 @@ val generate :
     fragments with randomized fields, or fully random instruction
     runs. *)
 
+val expected_rejections : Bvf_verifier.Reject_reason.t list
+(** The rejection reasons this generator is expected to produce, in
+    rough frequency order.  Random template-shaped generation with no
+    register-state tracking can trip almost the whole taxonomy; the
+    documented point is what it {e cannot} produce: [Env_failure]
+    (not a program property) and [Unknown] (a taxonomy gap — the
+    telemetry test fails if one appears). *)
+
 val strategy : Bvf_core.Campaign.strategy

@@ -60,6 +60,8 @@ type stats = {
   mutable st_accepted : int;
   mutable st_rejected : int;
   st_errno : (Venv.errno, int) Hashtbl.t;
+  st_reasons : (Reject_reason.t, int) Hashtbl.t;
+      (* rejection taxonomy (Venv.verr classification) *)
   st_findings : (string, found) Hashtbl.t; (* fingerprint -> first *)
   mutable st_curve : sample list;          (* newest first *)
   mutable st_histogram : Disasm.class_histogram;
@@ -70,6 +72,13 @@ type stats = {
   mutable st_quarantined : int; (* corpus entries storm-quarantined *)
   mutable st_lint : int;        (* invariant-lint violations observed
                                    (Kconfig.lint); never findings *)
+  (* phase timers: wall-clock seconds per pipeline stage.  Real times,
+     so deliberately excluded from [digest] — only the event counts are
+     part of a campaign's deterministic identity. *)
+  mutable st_gen_s : float;
+  mutable st_verify_s : float;
+  mutable st_sanitize_s : float;
+  mutable st_exec_s : float;
 }
 
 let acceptance_rate (s : stats) : float =
@@ -116,6 +125,10 @@ let digest ?(exclude_finding = fun (_ : string) -> false) (s : stats) :
     s.st_errno []
   |> List.sort compare
   |> List.iter (fun (e, n) -> Printf.bprintf b "errno %s %d\n" e n);
+  Hashtbl.fold (fun r n acc -> (Reject_reason.to_string r, n) :: acc)
+    s.st_reasons []
+  |> List.sort compare
+  |> List.iter (fun (r, n) -> Printf.bprintf b "reason %s %d\n" r n);
   Hashtbl.fold
     (fun key f acc ->
        if exclude_finding key then acc else (key, f.fd_iteration) :: acc)
@@ -184,6 +197,8 @@ type t = {
   mutable session : Loader.t;
   mutable gen_config : Gen.config;
   sample_every : int;
+  telemetry : Telemetry.sink;
+  log_level : int;
 }
 
 let reboot (c : t) : unit =
@@ -193,7 +208,8 @@ let reboot (c : t) : unit =
       c_maps = standard_maps c.session };
   c.stats.st_reboots <- c.stats.st_reboots + 1
 
-let create ?(sample_every = 64) ?failslab ~(seed : int)
+let create ?(sample_every = 64) ?(telemetry = Telemetry.null)
+    ?(log_level = 0) ?failslab ~(seed : int)
     (strategy : strategy) (config : Kconfig.t) : t =
   let failslab =
     match failslab with
@@ -222,6 +238,7 @@ let create ?(sample_every = 64) ?failslab ~(seed : int)
         st_accepted = 0;
         st_rejected = 0;
         st_errno = Hashtbl.create 8;
+        st_reasons = Hashtbl.create 16;
         st_findings = Hashtbl.create 32;
         st_curve = [];
         st_histogram = Disasm.empty_histogram;
@@ -231,10 +248,16 @@ let create ?(sample_every = 64) ?failslab ~(seed : int)
         st_retries = 0;
         st_quarantined = 0;
         st_lint = 0;
+        st_gen_s = 0.;
+        st_verify_s = 0.;
+        st_sanitize_s = 0.;
+        st_exec_s = 0.;
       };
     session;
     gen_config;
     sample_every;
+    telemetry;
+    log_level;
   }
 
 (* One fuzzing iteration: generate (or mutate), load, run, classify. *)
@@ -246,11 +269,18 @@ let step (c : t) : unit =
     else None
   in
   let seed_req = Option.map (fun e -> e.Corpus.request) seed_entry in
+  let t_gen = Unix.gettimeofday () in
   let req = c.strategy.s_generate c.rng c.gen_config seed_req in
+  stats.st_gen_s <- stats.st_gen_s +. (Unix.gettimeofday () -. t_gen);
   stats.st_generated <- stats.st_generated + 1;
   stats.st_histogram <-
     Array.fold_left Disasm.classify stats.st_histogram
       req.Verifier.r_insns;
+  let prog_type = Prog.prog_type_to_string req.Verifier.r_prog_type in
+  Telemetry.emit c.telemetry
+    (Telemetry.Generated
+       { iter = iteration; prog_type;
+         insns = Array.length req.Verifier.r_insns });
   (* bounded retry of transient environment errors, escalating to a
      reboot before the final attempt.  The coverage snapshot is taken
      immediately before the attempt that produces the returned result:
@@ -259,7 +289,12 @@ let step (c : t) : unit =
      inflate the corpus entry's feedback score. *)
   let rec attempt (n : int) : int * Loader.run_result =
     let edges_before = Coverage.edge_count c.cov in
-    let result = Loader.load_and_run c.session req in
+    let result =
+      Loader.load_and_run ~log_level:c.log_level c.session req
+    in
+    stats.st_verify_s <- stats.st_verify_s +. result.Loader.verify_s;
+    stats.st_sanitize_s <- stats.st_sanitize_s +. result.Loader.sanitize_s;
+    stats.st_exec_s <- stats.st_exec_s +. result.Loader.exec_s;
     if is_transient result && n < max_transient_retries then begin
       stats.st_retries <- stats.st_retries + 1;
       if n = max_transient_retries - 1 then reboot c;
@@ -274,12 +309,25 @@ let step (c : t) : unit =
   (match result.Loader.verdict with
    | Ok prog ->
      stats.st_accepted <- stats.st_accepted + 1;
-     stats.st_lint <- stats.st_lint + prog.Verifier.l_lint_count
+     stats.st_lint <- stats.st_lint + prog.Verifier.l_lint_count;
+     Telemetry.emit c.telemetry
+       (Telemetry.Accepted
+          { iter = iteration; prog_type;
+            insns = Array.length prog.Verifier.l_insns;
+            insn_processed = prog.Verifier.l_insn_processed })
    | Error e ->
      stats.st_rejected <- stats.st_rejected + 1;
      let k = e.Venv.errno in
      Hashtbl.replace stats.st_errno k
-       (1 + Option.value (Hashtbl.find_opt stats.st_errno k) ~default:0));
+       (1 + Option.value (Hashtbl.find_opt stats.st_errno k) ~default:0);
+     let r = e.Venv.vreason in
+     Hashtbl.replace stats.st_reasons r
+       (1 + Option.value (Hashtbl.find_opt stats.st_reasons r) ~default:0);
+     Telemetry.emit c.telemetry
+       (Telemetry.Rejected
+          { iter = iteration; prog_type; reason = r;
+            errno = Venv.errno_to_string e.Venv.errno; pc = e.Venv.vpc;
+            msg = e.Venv.vmsg }));
   if c.strategy.s_feedback then
     Corpus.add c.corpus ~iteration ~new_edges req;
   let findings = Oracle.classify c.config result in
@@ -291,9 +339,15 @@ let step (c : t) : unit =
              | Some b -> "|" ^ Kconfig.bug_to_string b
              | None -> "")
        in
-       if not (Hashtbl.mem stats.st_findings key) then
+       if not (Hashtbl.mem stats.st_findings key) then begin
          Hashtbl.replace stats.st_findings key
-           { fd_finding = f; fd_iteration = iteration; fd_request = req })
+           { fd_finding = f; fd_iteration = iteration; fd_request = req };
+         Telemetry.emit c.telemetry
+           (Telemetry.Finding
+              { iter = iteration; fingerprint = key;
+                bug = Option.map Kconfig.bug_to_string f.Oracle.f_bug;
+                correctness = f.Oracle.f_correctness })
+       end)
     findings;
   (* crash handling: reboot the kernel on fatal anomalies, and run the
      storm breaker over the corpus entry that seeded this iteration *)
@@ -335,7 +389,8 @@ type snapshot = {
   sn_stats : stats;
 }
 
-let checkpoint_tag = "bvf-campaign/2"
+(* /3: stats gained the rejection-reason table and phase timers. *)
+let checkpoint_tag = "bvf-campaign/3"
 
 let snapshot (c : t) : snapshot =
   {
@@ -368,7 +423,8 @@ let load_checkpoint ~(path : string) :
    performs right after taking the checkpoint — including the fault-plan
    draws its map setup consumes — so the resumed campaign replays the
    exact continuation of the uninterrupted one. *)
-let resume ?(sample_every = 64) (strategy : strategy) (config : Kconfig.t)
+let resume ?(sample_every = 64) ?(telemetry = Telemetry.null)
+    ?(log_level = 0) (strategy : strategy) (config : Kconfig.t)
     (s : snapshot) : t =
   if s.sn_tool <> strategy.s_name then
     raise
@@ -386,6 +442,14 @@ let resume ?(sample_every = 64) (strategy : strategy) (config : Kconfig.t)
      || s.sn_witness <> config.Kconfig.witness
      || s.sn_lint <> config.Kconfig.lint then
     raise (Environment "checkpoint was taken under a different config");
+  (* Deep-copy the snapshot before mutating anything in it.  A snapshot
+     loaded from disk is already private, but an in-memory one shares
+     its hashtables, corpus and coverage with whichever campaign took
+     it: resuming such a snapshot twice used to double-count reboots
+     (and every later counter) because both resumed campaigns mutated
+     the same stats record.  The copy makes resume a pure function of
+     the snapshot value, matching the from-disk semantics. *)
+  let s : snapshot = Marshal.from_string (Marshal.to_string s []) 0 in
   let session = Loader.create ~cov:s.sn_cov ~failslab:s.sn_failslab config in
   let gen_config =
     { Gen.c_version = config.Kconfig.version;
@@ -404,17 +468,21 @@ let resume ?(sample_every = 64) (strategy : strategy) (config : Kconfig.t)
     session;
     gen_config;
     sample_every;
+    telemetry;
+    log_level;
   }
 
 (* -- Driving ----------------------------------------------------------- *)
 
-let run_t ?(sample_every = 64) ?checkpoint_every ?checkpoint_path ?failslab
-    ?resume_from ~(seed : int) ~(iterations : int) (strategy : strategy)
-    (config : Kconfig.t) : t =
+let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
+    ?checkpoint_path ?failslab ?resume_from ~(seed : int)
+    ~(iterations : int) (strategy : strategy) (config : Kconfig.t) : t =
   let c =
     match resume_from with
-    | Some s -> resume ~sample_every strategy config s
-    | None -> create ~sample_every ?failslab ~seed strategy config
+    | Some s -> resume ~sample_every ?telemetry ?log_level strategy config s
+    | None ->
+      create ~sample_every ?telemetry ?log_level ?failslab ~seed strategy
+        config
   in
   (* A checkpoint is a barrier: write the snapshot, then reboot, so the
      file plus a fresh kernel fully determines the continuation.  The
@@ -431,7 +499,9 @@ let run_t ?(sample_every = 64) ?checkpoint_every ?checkpoint_path ?failslab
       (match checkpoint_path with
        | Some path -> begin
            match save_checkpoint c ~path with
-           | Ok () -> ()
+           | Ok () ->
+             Telemetry.emit c.telemetry
+               (Telemetry.Checkpoint { iter = c.stats.st_generated })
            | Error e ->
              raise
                (Environment
@@ -458,11 +528,13 @@ let run_t ?(sample_every = 64) ?checkpoint_every ?checkpoint_path ?failslab
       c.stats.st_curve;
   c
 
-let run ?sample_every ?checkpoint_every ?checkpoint_path ?failslab
-    ?resume_from ~(seed : int) ~(iterations : int) (strategy : strategy)
-    (config : Kconfig.t) : stats =
-  (run_t ?sample_every ?checkpoint_every ?checkpoint_path ?failslab
-     ?resume_from ~seed ~iterations strategy config)
+let run ?sample_every ?telemetry ?log_level ?checkpoint_every
+    ?checkpoint_path ?failslab ?resume_from ~(seed : int)
+    ~(iterations : int) (strategy : strategy) (config : Kconfig.t) :
+  stats =
+  (run_t ?sample_every ?telemetry ?log_level ?checkpoint_every
+     ?checkpoint_path ?failslab ?resume_from ~seed ~iterations strategy
+     config)
     .stats
 
 let pp_summary fmt (s : stats) : unit =

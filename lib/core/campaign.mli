@@ -43,6 +43,8 @@ type stats = {
   mutable st_accepted : int;
   mutable st_rejected : int;
   st_errno : (Bvf_verifier.Venv.errno, int) Hashtbl.t;
+  st_reasons : (Bvf_verifier.Reject_reason.t, int) Hashtbl.t;
+      (** rejection taxonomy: how many rejections per reason *)
   st_findings : (string, found) Hashtbl.t;
   mutable st_curve : sample list; (** newest first *)
   mutable st_histogram : Bvf_ebpf.Disasm.class_histogram;
@@ -58,6 +60,10 @@ type stats = {
       (** invariant-lint violations observed on accepted programs
           (only when the config enables {!Bvf_kernel.Kconfig.t.lint});
           a verifier-quality signal, never findings *)
+  mutable st_gen_s : float;      (** wall time generating programs *)
+  mutable st_verify_s : float;   (** wall time in the verifier *)
+  mutable st_sanitize_s : float; (** wall time in fixup + sanitation *)
+  mutable st_exec_s : float;     (** wall time executing programs *)
 }
 
 val acceptance_rate : stats -> float
@@ -109,12 +115,16 @@ type t = {
   mutable session : Bvf_runtime.Loader.t;
   mutable gen_config : Gen.config;
   sample_every : int;
+  telemetry : Telemetry.sink;
+      (** JSONL event sink; {!Telemetry.null} when not tracing *)
+  log_level : int; (** verifier log level for every load (default 0) *)
 }
 
 val reboot : t -> unit
 
 val create :
-  ?sample_every:int -> ?failslab:Bvf_kernel.Failslab.t -> seed:int ->
+  ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
+  ?failslab:Bvf_kernel.Failslab.t -> seed:int ->
   strategy -> Bvf_kernel.Kconfig.t -> t
 
 val step : t -> unit
@@ -154,13 +164,18 @@ val save_checkpoint : t -> path:string -> (unit, Checkpoint.error) result
 val load_checkpoint : path:string -> (snapshot, Checkpoint.error) result
 
 val resume :
-  ?sample_every:int -> strategy -> Bvf_kernel.Kconfig.t -> snapshot -> t
-(** Rebuild a running campaign from a snapshot.
+  ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
+  strategy -> Bvf_kernel.Kconfig.t -> snapshot -> t
+(** Rebuild a running campaign from a snapshot.  The snapshot value is
+    deep-copied first, so resuming the same in-memory snapshot several
+    times yields independent campaigns (identical to resuming a
+    from-disk checkpoint several times).
     @raise Environment when the snapshot was taken by a different tool,
     kernel version, or config. *)
 
 val run_t :
-  ?sample_every:int -> ?checkpoint_every:int -> ?checkpoint_path:string ->
+  ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
+  ?checkpoint_every:int -> ?checkpoint_path:string ->
   ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot -> seed:int ->
   iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> t
 (** Like {!run} but returns the whole campaign, giving callers (the
@@ -168,7 +183,8 @@ val run_t :
     corpus alongside the stats. *)
 
 val run :
-  ?sample_every:int -> ?checkpoint_every:int -> ?checkpoint_path:string ->
+  ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
+  ?checkpoint_every:int -> ?checkpoint_path:string ->
   ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot -> seed:int ->
   iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> stats
 (** Drive [iterations] steps.  Every [checkpoint_every] completed

@@ -20,3 +20,4 @@ module Venv = Bvf_verifier.Venv
 module Coverage = Bvf_verifier.Coverage
 module Loader = Bvf_runtime.Loader
 module Exec = Bvf_runtime.Exec
+module Reject_reason = Bvf_verifier.Reject_reason

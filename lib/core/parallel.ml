@@ -150,12 +150,28 @@ let merge_errno (shards : shard list) : (Venv.errno, int) Hashtbl.t =
     shards;
   merged
 
+let merge_reasons (shards : shard list) :
+  (Reject_reason.t, int) Hashtbl.t =
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun sh ->
+       Hashtbl.iter
+         (fun r n ->
+            Hashtbl.replace merged r
+              (n + Option.value (Hashtbl.find_opt merged r) ~default:0))
+         sh.sh_stats.Campaign.st_reasons)
+    shards;
+  merged
+
 let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
   Campaign.stats =
   match shards with
   | [] -> invalid_arg "Parallel.merge_stats: no shards"
   | first :: _ ->
     let sum f = List.fold_left (fun acc sh -> acc + f sh.sh_stats) 0 shards in
+    let sumf f =
+      List.fold_left (fun acc sh -> acc +. f sh.sh_stats) 0. shards
+    in
     {
       Campaign.st_tool = first.sh_stats.Campaign.st_tool;
       st_version = first.sh_stats.Campaign.st_version;
@@ -163,6 +179,7 @@ let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
       st_accepted = sum (fun s -> s.Campaign.st_accepted);
       st_rejected = sum (fun s -> s.Campaign.st_rejected);
       st_errno = merge_errno shards;
+      st_reasons = merge_reasons shards;
       st_findings = merge_findings ~jobs shards;
       st_curve = merge_curves ~jobs shards;
       st_histogram =
@@ -175,6 +192,11 @@ let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
       st_retries = sum (fun s -> s.Campaign.st_retries);
       st_quarantined = sum (fun s -> s.Campaign.st_quarantined);
       st_lint = sum (fun s -> s.Campaign.st_lint);
+      (* CPU seconds, so the phase totals sum across domains *)
+      st_gen_s = sumf (fun s -> s.Campaign.st_gen_s);
+      st_verify_s = sumf (fun s -> s.Campaign.st_verify_s);
+      st_sanitize_s = sumf (fun s -> s.Campaign.st_sanitize_s);
+      st_exec_s = sumf (fun s -> s.Campaign.st_exec_s);
     }
 
 let merge_corpora ~(jobs : int) ?(max_size = 256) (shards : shard list) :
@@ -204,9 +226,12 @@ let shard_of_campaign ~(index : int) ~(seed : int) ~(iterations : int)
     sh_edges = Coverage.named_edges c.Campaign.cov;
   }
 
-let run ?(sample_every = 64) ?failslab_rate ?failslab_seed ~(jobs : int)
-    ~(seed : int) ~(iterations : int) (strategy : Campaign.strategy)
-    (config : Kconfig.t) : result =
+let shard_trace_path (trace : string) (i : int) : string =
+  trace ^ ".shard" ^ string_of_int i
+
+let run ?(sample_every = 64) ?trace ?log_level ?failslab_rate
+    ?failslab_seed ~(jobs : int) ~(seed : int) ~(iterations : int)
+    (strategy : Campaign.strategy) (config : Kconfig.t) : result =
   if jobs < 1 then invalid_arg "Parallel.run: jobs < 1";
   let counts = shard_iterations ~iterations ~jobs in
   let plan_for (i : int) : Bvf_kernel.Failslab.t option =
@@ -218,9 +243,29 @@ let run ?(sample_every = 64) ?failslab_rate ?failslab_seed ~(jobs : int)
            ())
     | Some _ | None -> None
   in
+  (* Each shard writes its own trace file with iterations already
+     rewritten to global numbering; the join merges them into [trace].
+     With [jobs = 1] the mapping is the identity and the shard writes
+     [trace] directly, so the trace is byte-identical to a sequential
+     campaign's. *)
+  let sink_for (i : int) : Telemetry.sink =
+    match trace with
+    | None -> Telemetry.null
+    | Some path when jobs = 1 -> Telemetry.create path
+    | Some path ->
+      Telemetry.create
+        ~iter_map:(fun local -> global_iteration ~jobs ~shard:i local)
+        (shard_trace_path path i)
+  in
   let run_shard (i : int) : Campaign.t =
-    Campaign.run_t ~sample_every ?failslab:(plan_for i) ~seed:(seed + i)
-      ~iterations:counts.(i) strategy config
+    let telemetry = sink_for i in
+    let c =
+      Campaign.run_t ~sample_every ~telemetry ?log_level
+        ?failslab:(plan_for i) ~seed:(seed + i) ~iterations:counts.(i)
+        strategy config
+    in
+    Telemetry.close telemetry;
+    c
   in
   if jobs = 1 then begin
     (* the sequential path, verbatim: same calls in the same domain, so
@@ -248,6 +293,16 @@ let run ?(sample_every = 64) ?failslab_rate ?failslab_seed ~(jobs : int)
                 ~iterations:counts.(i) (Domain.join d))
            domains)
     in
+    (match trace with
+     | Some path ->
+       let shard_paths =
+         List.init jobs (fun i -> shard_trace_path path i)
+       in
+       ignore (Telemetry.merge_shards ~into:path shard_paths);
+       List.iter
+         (fun p -> if Sys.file_exists p then Sys.remove p)
+         shard_paths
+     | None -> ());
     let cov = Coverage.create () in
     List.iter
       (fun sh -> ignore (Coverage.absorb_named cov sh.sh_edges))

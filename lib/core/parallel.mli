@@ -56,7 +56,8 @@ val merge_stats :
 val merge_corpora : jobs:int -> ?max_size:int -> shard list -> Corpus.t
 
 val run :
-  ?sample_every:int -> ?failslab_rate:float -> ?failslab_seed:int ->
+  ?sample_every:int -> ?trace:string -> ?log_level:int ->
+  ?failslab_rate:float -> ?failslab_seed:int ->
   jobs:int -> seed:int -> iterations:int -> Campaign.strategy ->
   Bvf_kernel.Kconfig.t -> result
 (** Run [iterations] total fuzzing iterations sharded across [jobs]
@@ -64,6 +65,13 @@ val run :
     [failslab_rate > 0], a fault plan seeded [failslab_seed + i],
     defaulting [failslab_seed] to [seed]).  [jobs = 1] runs in the
     calling domain and is bit-identical to {!Campaign.run}.
+
+    [trace] writes a {!Telemetry} JSONL stream: each shard writes
+    [trace ^ ".shard" ^ i] with iterations rewritten to global
+    numbering, and the join merges (stable-sorted by iteration) into
+    [trace] and removes the shard files.  With [jobs = 1] the campaign
+    writes [trace] directly, byte-identical to a sequential run's
+    trace.  [log_level] sets the verifier log level for every load.
     @raise Invalid_argument when [jobs < 1].
     @raise Campaign.Environment if any shard raises it. *)
 

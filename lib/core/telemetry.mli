@@ -1,0 +1,110 @@
+(** Campaign telemetry: a JSONL event stream (one JSON object per line)
+    written as the campaign runs, plus the aggregation behind
+    [bvf stats].
+
+    Determinism contract: events emitted by the campaign itself carry
+    {b no wall-clock times} — two campaigns with the same seed produce
+    byte-identical traces whatever the machine load, and a [--jobs 1]
+    trace equals the sequential one.  The only timed record, [Profile],
+    is appended once by the CLI after the run, from the merged phase
+    counters. *)
+
+type event =
+  | Generated of { iter : int; prog_type : string; insns : int }
+      (** a program left the generator *)
+  | Accepted of {
+      iter : int;
+      prog_type : string;
+      insns : int;           (** post-rewrite instruction count *)
+      insn_processed : int;  (** verification effort *)
+    }
+  | Rejected of {
+      iter : int;
+      prog_type : string;
+      reason : Bvf_verifier.Reject_reason.t;
+      errno : string;        (** kernel-style errno name, e.g. EACCES *)
+      pc : int;
+      msg : string;          (** canonical verifier message *)
+    }
+  | Finding of {
+      iter : int;
+      fingerprint : string;
+      bug : string option;   (** ground-truth attribution, when known *)
+      correctness : bool;
+    }  (** first sighting only; dedup'd like {!Campaign.stats} *)
+  | Checkpoint of { iter : int }
+  | Shard_merge of { shards : int; events : int }
+      (** appended by {!merge_shards} *)
+  | Profile of {
+      programs : int;
+      gen_s : float;
+      verify_s : float;
+      sanitize_s : float;
+      exec_s : float;
+      wall_s : float;
+    }  (** CLI-appended phase profile; the only event carrying times *)
+
+val iter_of : event -> int option
+(** The iteration an event belongs to; [None] for [Shard_merge] and
+    [Profile]. *)
+
+val to_json : event -> string
+(** One-line JSON encoding (no trailing newline). *)
+
+val of_json : string -> event option
+(** Inverse of {!to_json}; [None] on blank lines, parse errors or
+    unknown ["ev"] tags, so readers skip foreign lines instead of
+    failing. *)
+
+(** {1 Sinks} *)
+
+type sink
+(** An open trace file.  All [emit]s are appended in call order. *)
+
+val null : sink
+(** Swallows everything: the default when no [--trace] was given. *)
+
+val create : ?iter_map:(int -> int) -> string -> sink
+(** Open (truncate) [path].  [iter_map] rewrites every event's
+    iteration on emit — sharded campaigns pass their local-to-global
+    mapping so merged traces are numbered like a sequential run. *)
+
+val emit : sink -> event -> unit
+val close : sink -> unit
+(** Flush and close; [emit] after [close] (and everything on {!null})
+    is a no-op. *)
+
+val read_file : string -> event list
+(** Parse a JSONL trace, skipping unparsable lines. *)
+
+val merge_shards : into:string -> string list -> int
+(** Merge per-shard trace files into [into]: concatenate, stable-sort
+    by {!iter_of} (shard-merge/profile records stay last), append a
+    [Shard_merge] event.  Returns the number of merged events.  Missing
+    shard files are treated as empty. *)
+
+(** {1 Aggregation — the [bvf stats] core} *)
+
+type summary = {
+  su_events : int;
+  su_generated : int;
+  su_accepted : int;
+  su_rejected : int;
+  su_findings : int;
+  su_checkpoints : int;
+  su_by_type : (string * (int * int)) list;
+      (** prog type -> (generated, accepted), sorted by name *)
+  su_reasons : (Bvf_verifier.Reject_reason.t * int) list;
+      (** rejection taxonomy, most frequent first *)
+  su_profile : event option;  (** the last [Profile] record, if any *)
+}
+
+val summarize : event list -> summary
+
+val unknown_rejections : summary -> int
+(** Rejections classified as {!Bvf_verifier.Reject_reason.Unknown}: the
+    taxonomy-gap count the CI gate fails on. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** The acceptance table: totals, per-prog-type acceptance, the
+    rejection taxonomy histogram, and the phase profile when present. *)

@@ -15,6 +15,7 @@ module Insn = Bvf_ebpf.Insn
 module Disasm = Bvf_ebpf.Disasm
 module Kconfig = Bvf_kernel.Kconfig
 module Venv = Bvf_verifier.Venv
+module Reject_reason = Bvf_verifier.Reject_reason
 module Verifier = Bvf_verifier.Verifier
 module Coverage = Bvf_verifier.Coverage
 module Loader = Bvf_runtime.Loader
@@ -249,7 +250,16 @@ type acceptance = {
   ac_buzzer_alujmp : float;
   ac_buzzer_alujmp_ratio : float; (* ALU+JMP fraction of Buzzer insns *)
   ac_syz_errno : (Venv.errno * int) list;
+  ac_reasons : (string * (Reject_reason.t * int) list) list;
+      (* per-tool rejection taxonomy, reasons sorted by count *)
 }
+
+let reason_table (s : Campaign.stats) : (Reject_reason.t * int) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.Campaign.st_reasons []
+  |> List.sort (fun (ra, a) (rb, b) ->
+         match compare b a with
+         | 0 -> compare (Reject_reason.to_string ra) (Reject_reason.to_string rb)
+         | c -> c)
 
 let acceptance ?(programs = 4_000) ?(seed = 5) () : acceptance =
   (* measured exactly as the paper does: over a fuzzing campaign
@@ -271,6 +281,13 @@ let acceptance ?(programs = 4_000) ?(seed = 5) () : acceptance =
     ac_syz_errno =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) syz.Campaign.st_errno []
       |> List.sort (fun (_, a) (_, b) -> compare b a);
+    ac_reasons =
+      [
+        (bvf.Campaign.st_tool, reason_table bvf);
+        (syz.Campaign.st_tool, reason_table syz);
+        (bz_rand.Campaign.st_tool, reason_table bz_rand);
+        (bz_aj.Campaign.st_tool, reason_table bz_aj);
+      ];
   }
 
 let print_acceptance (a : acceptance) : unit =
@@ -290,7 +307,19 @@ let print_acceptance (a : acceptance) : unit =
        (List.map
           (fun (e, n) ->
              Printf.sprintf "%s=%d" (Venv.errno_to_string e) n)
-          a.ac_syz_errno))
+          a.ac_syz_errno));
+  Printf.printf "  Rejection taxonomy (why each tool gets rejected):\n";
+  List.iter
+    (fun (tool, reasons) ->
+       Printf.printf "    %-16s %s\n" tool
+         (if reasons = [] then "(no rejections)"
+          else
+            String.concat ", "
+              (List.map
+                 (fun (r, n) ->
+                    Printf.sprintf "%s=%d" (Reject_reason.to_string r) n)
+                 reasons)))
+    a.ac_reasons
 
 (* -- Section 6.4: sanitation overhead ------------------------------------ *)
 

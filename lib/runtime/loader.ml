@@ -62,6 +62,10 @@ type run_result = {
   witness : Report.t list;        (* witness-oracle escapes (Kconfig
                                      witness); nested event runs are not
                                      collected *)
+  verify_s : float;               (* wall time spent verifying *)
+  sanitize_s : float;             (* wall time of fixup + sanitation *)
+  exec_s : float;                 (* wall time executing (0 if rejected) *)
+  vlog : string;                  (* verifier log, whatever the verdict *)
 }
 
 let attach (t : t) (prog : Verifier.loaded) : unit =
@@ -128,19 +132,28 @@ let execute (t : t) (prog : Verifier.loaded) : Exec.result =
   end
 
 (* The complete cycle the fuzzer performs for each generated input. *)
-let load_and_run (t : t) (req : Verifier.request) : run_result =
+let load_and_run ?log_level (t : t) (req : Verifier.request) : run_result =
   let baseline = List.length (Kstate.peek_reports t.kst) in
-  match Verifier.load t.kst ~cov:t.cov req with
+  let t_load = Unix.gettimeofday () in
+  let verdict, vlog = Verifier.load_with_log t.kst ~cov:t.cov ?log_level req
+  in
+  let load_s = Unix.gettimeofday () -. t_load in
+  match verdict with
   | Error e ->
     let all = Kstate.peek_reports t.kst in
     { verdict = Error e; status = None;
       reports = List.filteri (fun i _ -> i >= baseline) all;
-      insns_executed = 0; witness = [] }
+      insns_executed = 0; witness = [];
+      verify_s = load_s; sanitize_s = 0.; exec_s = 0.; vlog }
   | Ok prog ->
     attach t prog;
+    let t_exec = Unix.gettimeofday () in
     let result = execute t prog in
+    let exec_s = Unix.gettimeofday () -. t_exec in
     let all = Kstate.peek_reports t.kst in
     { verdict = Ok prog; status = Some result.Exec.status;
       reports = List.filteri (fun i _ -> i >= baseline) all;
       insns_executed = result.Exec.insns_executed;
-      witness = result.Exec.witness }
+      witness = result.Exec.witness;
+      verify_s = load_s -. prog.Verifier.l_sanitize_s;
+      sanitize_s = prog.Verifier.l_sanitize_s; exec_s; vlog }

@@ -36,6 +36,10 @@ type run_result = {
   insns_executed : int;
   witness : Bvf_kernel.Report.t list;
       (** witness-oracle escapes, when the config records witnesses *)
+  verify_s : float;  (** wall time spent verifying *)
+  sanitize_s : float;(** wall time of the fixup + sanitation rewrites *)
+  exec_s : float;    (** wall time executing; 0 when rejected *)
+  vlog : string;     (** verifier log, whatever the verdict *)
 }
 
 val attach : t -> Bvf_verifier.Verifier.loaded -> unit
@@ -49,5 +53,7 @@ val execute : t -> Bvf_verifier.Verifier.loaded -> Exec.result
     programs also get one triggering of their attach point in its
     execution context. *)
 
-val load_and_run : t -> Bvf_verifier.Verifier.request -> run_result
-(** The complete cycle the fuzzer performs for each generated input. *)
+val load_and_run :
+  ?log_level:int -> t -> Bvf_verifier.Verifier.request -> run_result
+(** The complete cycle the fuzzer performs for each generated input.
+    [log_level] (default 0) sizes the captured verifier log. *)

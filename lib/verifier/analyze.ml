@@ -270,6 +270,7 @@ let run (env : Venv.t) : unit =
       end;
       if env.Venv.config.Kconfig.lint then
         Venv.record_lint env (Invariants.check_state ~pc env.Venv.st);
+      Venv.log_state env;
       Venv.logf env "%d: %s\n" pc (Insn.to_string insns.(pc));
       match insns.(pc) with
       | Insn.Alu { op64; op; dst; src } ->

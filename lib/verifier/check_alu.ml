@@ -354,9 +354,11 @@ let check (env : Venv.t) ~(pc : int) ~(op64 : bool) (op : Insn.alu_op)
           Venv.set_reg env dst Regstate.unknown_scalar
         end
         else
-          Venv.reject env ~pc Venv.EACCES
-            "R%d pointer %s pointer prohibited" (Insn.reg_to_int dst)
-            (Insn.alu_op_to_string op)
+          (* the message-based classifier reads two pointer operands as
+             a type confusion; this is arithmetic, so tag it *)
+          Venv.reject ~reason:Reject_reason.Bad_ptr_arith env ~pc
+            Venv.EACCES "R%d pointer %s pointer prohibited"
+            (Insn.reg_to_int dst) (Insn.alu_op_to_string op)
       | Scalar, Scalar ->
         Venv.set_reg env dst
           (if op64 then scalar_op64 op d src_state

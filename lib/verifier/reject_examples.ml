@@ -1,0 +1,130 @@
+open Vimport
+
+(* One minimal rejected program per taxonomy bucket: the executable
+   companion to docs/REJECTIONS.md.  Each builds a fresh kernel state so
+   the examples are independent and order-insensitive.
+
+   Env_failure (fault injection) and Unknown (the taxonomy gap marker)
+   have no example program by design: neither is a verdict the verifier
+   reaches about a well-formed load on a healthy kernel. *)
+
+type example = {
+  ex_reason : Reject_reason.t;
+  ex_title : string;
+  ex_build : unit -> Kstate.t * Verifier.request;
+}
+
+let kst () = Kstate.create (Kconfig.default Version.Bpf_next)
+
+let plain ?attach prog_type fragments =
+  fun () ->
+    (kst (), Verifier.request ?attach prog_type (Asm.prog fragments))
+
+let mk reason title build =
+  { ex_reason = reason; ex_title = title; ex_build = build }
+
+open Asm
+
+let all : example list =
+  [
+    mk Reject_reason.Uninit_access "read of a never-written register"
+      (plain Prog.Socket_filter [ [ mov64_reg R0 R2; exit_ ] ]);
+    mk Reject_reason.Oob_access "store above the stack frame"
+      (plain Prog.Socket_filter [ [ st_dw R10 8 0l ]; ret 0l ]);
+    mk Reject_reason.Bad_ctx_access "unaligned context field read"
+      (plain Prog.Socket_filter [ [ ldx_w R0 R1 3 ]; ret 0l ]);
+    mk Reject_reason.Null_deref "map lookup result used without null check"
+      (fun () ->
+         let kst = kst () in
+         let fd = Kstate.map_create kst (Map.array_def ()) in
+         let insns =
+           prog
+             [ [ st_w R10 (-8) 0l;            (* key = 0 at fp-8 *)
+                 mov64_reg R2 R10; alu64_imm Insn.Add R2 (-8l);
+                 ld_map_fd R1 fd;
+                 call 1;                      (* map_lookup_elem *)
+                 ldx_w R3 R0 0 ];             (* deref *_or_null *)
+               ret 0l ]
+         in
+         (kst, Verifier.request Prog.Socket_filter insns));
+    mk Reject_reason.Ptr_leak "frame pointer returned in R0"
+      (plain Prog.Socket_filter [ [ mov64_reg R0 R10; exit_ ] ]);
+    mk Reject_reason.Bad_ptr_arith "multiplication on a pointer"
+      (plain Prog.Socket_filter
+         [ [ mov64_reg R1 R10; alu64_imm Insn.Mul R1 2l ]; ret 0l ]);
+    mk Reject_reason.Type_mismatch "load through a scalar"
+      (plain Prog.Socket_filter
+         [ [ mov64_imm R1 1l; ldx_w R0 R1 0 ]; ret 0l ]);
+    mk Reject_reason.Bad_helper_arg "scalar where a map pointer is due"
+      (plain Prog.Socket_filter
+         [ [ mov64_imm R1 0l; mov64_imm R2 0l; call 1 ]; ret 0l ]);
+    mk Reject_reason.Helper_unavailable "call to a nonexistent helper"
+      (plain Prog.Socket_filter [ [ call 9999 ]; ret 0l ]);
+    mk Reject_reason.Lock_violation "spin_lock taken but never released"
+      (fun () ->
+         let kst = kst () in
+         let fd =
+           Kstate.map_create kst (Map.hash_def ~has_spin_lock:true ())
+         in
+         let insns =
+           prog
+             [ [ st_dw R10 (-8) 0l;           (* key at fp-8 *)
+                 mov64_reg R2 R10; alu64_imm Insn.Add R2 (-8l);
+                 ld_map_fd R1 fd;
+                 call 1;                      (* map_lookup_elem *)
+                 jmp_imm Insn.Jne R0 0l 2 ];  (* non-null -> lock *)
+               ret 0l;
+               [ mov64_reg R1 R0;
+                 call 93 ];                   (* spin_lock, no unlock *)
+               ret 0l ]
+         in
+         (kst, Verifier.request Prog.Socket_filter insns));
+    mk Reject_reason.Ref_leak "ringbuf record reserved but never submitted"
+      (fun () ->
+         let kst = kst () in
+         let fd = Kstate.map_create kst (Map.ringbuf_def ()) in
+         let insns =
+           prog
+             [ [ ld_map_fd R1 fd;
+                 mov64_imm R2 8l; mov64_imm R3 0l;
+                 call 131 ];                  (* ringbuf_reserve *)
+               ret 0l ]
+         in
+         (kst, Verifier.request Prog.Socket_filter insns));
+    mk Reject_reason.Bad_return_value "XDP return code out of range"
+      (plain Prog.Xdp [ ret 7l ]);
+    mk Reject_reason.Unbounded_loop "constant-condition self loop"
+      (plain Prog.Socket_filter
+         [ [ mov64_imm R0 0l; jmp_imm Insn.Jeq R0 0l (-1); exit_ ] ]);
+    mk Reject_reason.Insn_limit "call chain deeper than the frame budget"
+      (plain Prog.Socket_filter
+         [ [ call_local 1; exit_ ];
+           [ call_local 1; exit_ ];
+           [ call_local 1; exit_ ];
+           [ call_local 1; exit_ ];
+           ret 0l ]);
+    mk Reject_reason.Bad_cfg "jump past the end of the program"
+      (plain Prog.Socket_filter [ [ ja 1; exit_ ] ]);
+    mk Reject_reason.Bad_insn "write to the hidden register R11"
+      (plain Prog.Socket_filter [ [ mov64_imm R11 0l ]; ret 0l ]);
+    mk Reject_reason.Bad_map_op "ld_imm64 of a never-created map fd"
+      (plain Prog.Socket_filter [ [ ld_map_fd R1 9999 ]; ret 0l ]);
+    mk Reject_reason.Priv "XDP load without CAP_BPF"
+      (fun () ->
+         let kst =
+           Kstate.create
+             (Kconfig.make ~unprivileged:true Version.Bpf_next)
+         in
+         (kst, Verifier.request Prog.Xdp (prog [ ret 0l ])));
+    mk Reject_reason.Bad_attach "attach to a tracepoint that does not exist"
+      (plain ~attach:(Some "no_such_tp") Prog.Kprobe [ ret 0l ]);
+    mk Reject_reason.Prog_size "empty instruction stream"
+      (plain Prog.Socket_filter []);
+  ]
+
+let verify_example (ex : example) : (Reject_reason.t * string) option =
+  let kst, req = ex.ex_build () in
+  let cov = Coverage.create () in
+  match Verifier.load kst ~cov req with
+  | Ok _ -> None
+  | Error e -> Some (e.Venv.vreason, e.Venv.vmsg)

@@ -1,0 +1,26 @@
+(** One minimal rejected program per {!Reject_reason.t} constructor:
+    the executable companion to [docs/REJECTIONS.md].
+
+    Each example is self-contained — it builds its own kernel state and
+    load request — so the docs test can verify that every documented
+    reason is actually produced by the verifier, and [bvf explain]-style
+    tooling has a canonical witness per bucket.
+
+    [Env_failure] (fault injection, not a verdict) and [Unknown] (the
+    taxonomy gap marker) have no example program by design. *)
+
+type example = {
+  ex_reason : Reject_reason.t;   (** expected classification *)
+  ex_title : string;             (** one-line description *)
+  ex_build : unit -> Bvf_kernel.Kstate.t * Verifier.request;
+      (** fresh kernel state + the request that must be rejected *)
+}
+
+val all : example list
+(** One example per reason, in {!Reject_reason.all} order, minus
+    [Env_failure] and [Unknown]. *)
+
+val verify_example : example -> (Reject_reason.t * string) option
+(** Run the example through {!Verifier.load}.  [Some (reason, msg)]
+    when rejected (the observed classification and message), [None]
+    when the verifier accepted it — which a test treats as failure. *)

@@ -22,9 +22,24 @@ let errno_is_transient = function
   | ENOMEM -> true
   | EACCES | EINVAL | E2BIG | EPERM | EFAULT | EBADF -> false
 
-type verr = { errno : errno; vmsg : string; vpc : int }
+type verr = {
+  errno : errno;
+  vmsg : string;
+  vpc : int;
+  vreason : Reject_reason.t; (* structured rejection taxonomy *)
+}
 
 exception Reject of verr
+
+(* Build a rejection record, recovering the taxonomy bucket from the
+   canonical message unless the caller knows better. *)
+let verr_make ?reason (errno : errno) ~(pc : int) (vmsg : string) : verr =
+  let vreason =
+    match reason with
+    | Some r -> r
+    | None -> Reject_reason.classify ~msg:vmsg
+  in
+  { errno; vmsg; vpc = pc; vreason }
 
 type explored_entry = {
   e_state : Vstate.t;
@@ -70,8 +85,7 @@ type t = {
   mutable ancestors : explored_entry list; (* of the current path *)
   mutable insn_processed : int;
   mutable next_id : int;
-  log : Buffer.t;
-  log_level : int;
+  vlog : Vlog.t;
   cov : Coverage.t;
   local_edges : (int, unit) Hashtbl.t;
   (* invariant-lint violations (newest first, capped), Kconfig.lint *)
@@ -100,8 +114,7 @@ let create ~(kst : Kstate.t) ~(prog_type : Prog.prog_type)
     ancestors = [];
     insn_processed = 0;
     next_id = 1;
-    log = Buffer.create 256;
-    log_level;
+    vlog = Vlog.create log_level;
     cov;
     local_edges = Hashtbl.create 256;
     lint = [];
@@ -133,10 +146,27 @@ let fresh_id (t : t) : int =
   t.next_id <- id + 1;
   id
 
-let logf (t : t) fmt =
-  Format.kasprintf
-    (fun s -> if t.log_level > 0 then Buffer.add_string t.log s)
-    fmt
+let logf (t : t) fmt = Vlog.logf t.vlog ~level:1 fmt
+
+(* Level-2 state dump: the abstract register file of the current frame
+   before the instruction, one kernel-style "Rn=..." line. *)
+let log_state (t : t) : unit =
+  if Vlog.enabled t.vlog 2 then begin
+    let f = Vstate.cur_frame t.st in
+    let parts = ref [] in
+    for i = 10 downto 0 do
+      let r = f.Vstate.regs.(i) in
+      if Regstate.is_init r then
+        parts :=
+          Printf.sprintf "R%d%s=%s" i
+            (if f.Vstate.frameno > 0 then
+               Printf.sprintf "_w%d" f.Vstate.frameno
+             else "")
+            (Regstate.to_string r)
+          :: !parts
+    done;
+    Vlog.logf t.vlog ~level:2 "  %s\n" (String.concat " " !parts)
+  end
 
 (* Coverage instrumentation point: [site] is a static name for the
    verifier branch, [v] an optional small discriminator. *)
@@ -145,11 +175,11 @@ let cov ?(v = 0) (t : t) (site : string) : unit =
   Coverage.record t.cov edge;
   Hashtbl.replace t.local_edges edge ()
 
-let reject (t : t) ~(pc : int) (errno : errno) fmt =
+let reject ?reason (t : t) ~(pc : int) (errno : errno) fmt =
   Format.kasprintf
     (fun vmsg ->
        logf t "%d: %s\n" pc vmsg;
-       raise (Reject { errno; vmsg; vpc = pc }))
+       raise (Reject (verr_make ?reason errno ~pc vmsg)))
     fmt
 
 let reg (t : t) (r : Insn.reg) : Regstate.t = Vstate.reg t.st r

@@ -35,6 +35,7 @@ type loaded = {
   l_insn_processed : int;        (* verification effort *)
   l_lint : Invariants.violation list; (* Kconfig.lint violations (capped) *)
   l_lint_count : int;            (* total, including dropped-by-cap *)
+  l_sanitize_s : float;          (* wall time of fixup + sanitation *)
 }
 
 (* kmalloc allocation limit for the Bug#8 kmemdup path (bytes). *)
@@ -74,19 +75,17 @@ let resolve_map_fds (kst : Kstate.t) (insns : Insn.t array) :
          | Insn.Ld_imm64 (_, (Insn.Map_fd fd | Insn.Map_value (fd, _)))
            when Kstate.map_of_fd kst fd = None ->
            bad :=
-             Some { Venv.errno = Venv.EBADF;
-                    vmsg = Printf.sprintf "fd %d is not a map" fd;
-                    vpc = pc }
+             Some (Venv.verr_make Venv.EBADF ~pc
+                     (Printf.sprintf "fd %d is not a map" fd))
          | Insn.Ld_imm64 (_, Insn.Map_value (fd, _)) -> begin
              match Kstate.map_of_fd kst fd with
              | Some m when m.Map.def.Map.mtype <> Map.Array_map ->
                bad :=
-                 Some { Venv.errno = Venv.EINVAL;
-                        vmsg =
-                          Printf.sprintf
-                            "map fd %d does not support direct value access"
-                            fd;
-                        vpc = pc }
+                 Some
+                   (Venv.verr_make Venv.EINVAL ~pc
+                      (Printf.sprintf
+                         "map fd %d does not support direct value access"
+                         fd))
              | Some _ | None -> ()
            end
          | _ -> ())
@@ -101,10 +100,10 @@ let check_privilege (kst : Kstate.t) (req : request) :
   if kst.Kstate.config.Kconfig.unprivileged
      && not (List.mem req.r_prog_type unprivileged_prog_types)
   then
-    Error { Venv.errno = Venv.EPERM;
-            vmsg = Printf.sprintf "prog type %s requires CAP_BPF"
-                (Prog.prog_type_to_string req.r_prog_type);
-            vpc = 0 }
+    Error
+      (Venv.verr_make Venv.EPERM ~pc:0
+         (Printf.sprintf "prog type %s requires CAP_BPF"
+            (Prog.prog_type_to_string req.r_prog_type)))
   else Ok ()
 
 let resolve_attach (kst : Kstate.t) (req : request) :
@@ -114,40 +113,43 @@ let resolve_attach (kst : Kstate.t) (req : request) :
   | Some name -> begin
       match Tracepoint.find name with
       | None ->
-        Error { Venv.errno = Venv.EINVAL;
-                vmsg = Printf.sprintf "unknown attach point %s" name;
-                vpc = 0 }
+        Error
+          (Venv.verr_make Venv.EINVAL ~pc:0
+             (Printf.sprintf "unknown attach point %s" name))
       | Some tp ->
         if not (List.mem req.r_prog_type tp.Tracepoint.tp_prog_types) then
-          Error { Venv.errno = Venv.EINVAL;
-                  vmsg = Printf.sprintf
-                      "prog type %s cannot attach to %s"
-                      (Prog.prog_type_to_string req.r_prog_type) name;
-                  vpc = 0 }
+          Error
+            (Venv.verr_make Venv.EINVAL ~pc:0
+               (Printf.sprintf "prog type %s cannot attach to %s"
+                  (Prog.prog_type_to_string req.r_prog_type) name))
         else if
           not (Version.at_least kst.Kstate.config.Kconfig.version
                  tp.Tracepoint.tp_since)
         then
-          Error { Venv.errno = Venv.EINVAL;
-                  vmsg = Printf.sprintf "%s does not exist in %s" name
-                      (Version.to_string
-                         kst.Kstate.config.Kconfig.version);
-                  vpc = 0 }
+          Error
+            (Venv.verr_make Venv.EINVAL ~pc:0
+               (Printf.sprintf "%s does not exist in %s" name
+                  (Version.to_string
+                     kst.Kstate.config.Kconfig.version)))
         else Ok (Some tp)
     end
 
-let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
-    (req : request) : (loaded, Venv.verr) result =
+(* The full pipeline, also returning the verifier log whatever the
+   verdict — the kernel copies the log buffer back to user space on
+   rejection too, and [bvf explain] needs exactly that. *)
+let load_with_log (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
+    (req : request) : (loaded, Venv.verr) result * string =
   let n = Array.length req.r_insns in
   if n = 0 then
-    Error { Venv.errno = Venv.EINVAL; vmsg = "empty program"; vpc = 0 }
+    (Error (Venv.verr_make Venv.EINVAL ~pc:0 "empty program"), "")
   else if n > Prog.max_insns then
-    Error { Venv.errno = Venv.E2BIG;
-            vmsg = Printf.sprintf "program too large (%d insns)" n;
-            vpc = 0 }
+    (Error
+       (Venv.verr_make Venv.E2BIG ~pc:0
+          (Printf.sprintf "program too large (%d insns)" n)), "")
   else if uses_reserved req.r_insns then
-    Error { Venv.errno = Venv.EINVAL;
-            vmsg = "program uses reserved register or helper"; vpc = 0 }
+    (Error
+       (Venv.verr_make Venv.EINVAL ~pc:0
+          "program uses reserved register or helper"), "")
   else if
     (* failslab: the syscall kvcallocs insn_aux_data and the verifier
        state before any analysis; a failed allocation is a clean -ENOMEM,
@@ -155,25 +157,28 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
     Bvf_kernel.Failslab.should_fail kst.Kstate.failslab
       ~site:"bpf_check:insn_aux"
   then
-    Error { Venv.errno = Venv.ENOMEM;
-            vmsg = "kvcalloc of insn_aux_data failed"; vpc = 0 }
+    (Error
+       (Venv.verr_make Venv.ENOMEM ~pc:0
+          "kvcalloc of insn_aux_data failed"), "")
   else
     match check_privilege kst req with
-    | Error e -> Error e
+    | Error e -> (Error e, "")
     | Ok () ->
     match resolve_map_fds kst req.r_insns with
-    | Error e -> Error e
+    | Error e -> (Error e, "")
     | Ok () ->
     match resolve_attach kst req with
-    | Error e -> Error e
+    | Error e -> (Error e, "")
     | Ok attach ->
       let env =
         Venv.create ~kst ~prog_type:req.r_prog_type ~attach ~cov
           ~log_level req.r_insns
       in
+      let log () = Vlog.contents env.Venv.vlog in
       match Analyze.run env with
-      | exception Venv.Reject verr -> Error verr
+      | exception Venv.Reject verr -> (Error verr, log ())
       | () ->
+        let t_rewrite = Unix.gettimeofday () in
         let insns, aux = Fixup.run kst ~insns:req.r_insns ~aux:env.Venv.aux
         in
         let insns, aux =
@@ -181,14 +186,15 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             Sanitize.run ~insns ~aux
           else (insns, aux)
         in
+        let sanitize_s = Unix.gettimeofday () -. t_rewrite in
         if
           (* failslab: allocating the rewritten program image *)
           Bvf_kernel.Failslab.should_fail kst.Kstate.failslab
             ~site:"bpf_prog_load:prog_image"
         then
-          Error { Venv.errno = Venv.ENOMEM;
-                  vmsg = "bpf_prog_realloc of rewritten image failed";
-                  vpc = 0 }
+          (Error
+             (Venv.verr_make Venv.ENOMEM ~pc:0
+                "bpf_prog_realloc of rewritten image failed"), log ())
         else begin
         (* Bug#8: the syscall kmemdups the rewritten image for
            introspection; large images exceed the kmalloc limit *)
@@ -201,7 +207,7 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
                   "kmemdup of rewritten insns failed (kmalloc limit)"));
         let id = kst.Kstate.next_prog_id in
         kst.Kstate.next_prog_id <- id + 1;
-        Ok
+        (Ok
           {
             l_id = id;
             l_insns = insns;
@@ -210,12 +216,17 @@ let load (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             l_attach = attach;
             l_offload = req.r_offload;
             l_orig_len = n;
-            l_log = Buffer.contents env.Venv.log;
+            l_log = log ();
             l_insn_processed = env.Venv.insn_processed;
             l_lint = List.rev env.Venv.lint;
             l_lint_count = env.Venv.lint_count;
-          }
+            l_sanitize_s = sanitize_s;
+          }, log ())
         end
+
+let load (kst : Kstate.t) ~(cov : Coverage.t) ?log_level (req : request) :
+  (loaded, Venv.verr) result =
+  fst (load_with_log kst ~cov ?log_level req)
 
 (* Verification only (no rewrites): used by tests and the acceptance
    experiment. *)
@@ -223,11 +234,14 @@ let verify (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
     (req : request) : (unit, Venv.verr) result =
   let n = Array.length req.r_insns in
   if n = 0 || n > Prog.max_insns then
-    Error { Venv.errno = (if n = 0 then Venv.EINVAL else Venv.E2BIG);
-            vmsg = "size"; vpc = 0 }
+    Error
+      (Venv.verr_make
+         (if n = 0 then Venv.EINVAL else Venv.E2BIG)
+         ~pc:0 "size")
   else if uses_reserved req.r_insns then
-    Error { Venv.errno = Venv.EINVAL;
-            vmsg = "program uses reserved register or helper"; vpc = 0 }
+    Error
+      (Venv.verr_make Venv.EINVAL ~pc:0
+         "program uses reserved register or helper")
   else
     match check_privilege kst req with
     | Error e -> Error e
@@ -254,11 +268,14 @@ let lint (kst : Kstate.t) ~(cov : Coverage.t) (req : request) :
   (unit, Venv.verr) result * Invariants.violation list * int =
   let n = Array.length req.r_insns in
   if n = 0 || n > Prog.max_insns then
-    (Error { Venv.errno = (if n = 0 then Venv.EINVAL else Venv.E2BIG);
-             vmsg = "size"; vpc = 0 }, [], 0)
+    (Error
+       (Venv.verr_make
+          (if n = 0 then Venv.EINVAL else Venv.E2BIG)
+          ~pc:0 "size"), [], 0)
   else if uses_reserved req.r_insns then
-    (Error { Venv.errno = Venv.EINVAL;
-             vmsg = "program uses reserved register or helper"; vpc = 0 },
+    (Error
+       (Venv.verr_make Venv.EINVAL ~pc:0
+          "program uses reserved register or helper"),
      [], 0)
   else
     match check_privilege kst req with

@@ -34,6 +34,9 @@ type loaded = {
   l_lint : Invariants.violation list;
       (** invariant-lint violations (capped), when [Kconfig.lint] *)
   l_lint_count : int;              (** total violations incl. dropped *)
+  l_sanitize_s : float;
+      (** wall time of the fixup + sanitation rewrites, for phase
+          profiling (the rest of the load span is verification) *)
 }
 
 val kmalloc_max : int
@@ -47,6 +50,15 @@ val load :
   Bvf_kernel.Kstate.t -> cov:Coverage.t -> ?log_level:int -> request ->
   (loaded, Venv.verr) result
 (** The full pipeline. *)
+
+val load_with_log :
+  Bvf_kernel.Kstate.t -> cov:Coverage.t -> ?log_level:int -> request ->
+  (loaded, Venv.verr) result * string
+(** {!load}, also returning the verifier log whatever the verdict —
+    the kernel copies the log buffer back to user space on rejection
+    too.  [bvf explain] and rejected-program tracing use this; the log
+    is empty when the load failed before analysis (structural checks,
+    fd resolution, injected allocation faults). *)
 
 val verify :
   Bvf_kernel.Kstate.t -> cov:Coverage.t -> ?log_level:int -> request ->

@@ -1,0 +1,33 @@
+(* Verifier log buffer: leveled, capped, truncation-marked.  See the
+   interface for the level semantics. *)
+
+type t = {
+  buf : Buffer.t;
+  lvl : int;
+  cap : int;
+  mutable trunc : bool;
+}
+
+let default_cap = 1_048_576
+
+let create ?(cap = default_cap) (lvl : int) : t =
+  { buf = Buffer.create (if lvl > 0 then 256 else 0); lvl; cap;
+    trunc = false }
+
+let level (t : t) : int = t.lvl
+
+let enabled (t : t) (l : int) : bool = t.lvl >= l
+
+let add (t : t) (s : string) : unit =
+  if not t.trunc then begin
+    if Buffer.length t.buf + String.length s > t.cap then t.trunc <- true
+    else Buffer.add_string t.buf s
+  end
+
+let logf (t : t) ~(level : int) fmt =
+  Format.kasprintf (fun s -> if t.lvl >= level then add t s) fmt
+
+let truncated (t : t) : bool = t.trunc
+
+let contents (t : t) : string =
+  Buffer.contents t.buf ^ if t.trunc then "... log truncated\n" else ""

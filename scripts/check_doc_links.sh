@@ -1,0 +1,37 @@
+#!/bin/sh
+# Check that every relative markdown link in the documentation resolves
+# to a file or directory in the repository.  External links (http/https/
+# mailto) and intra-page anchors (#…) are ignored; a link's own anchor
+# suffix (FILE.md#section) is stripped before the existence check.
+#
+# Usage: scripts/check_doc_links.sh   (from the repository root)
+set -u
+
+status=0
+
+for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # one inline markdown link target per line: [text](target)
+  grep -o '\[[^][]*\]([^()[:space:]]*)' "$doc" 2>/dev/null \
+    | sed 's/^.*](\([^()]*\))$/\1/' \
+    | while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+          echo "$doc: broken link -> $target"
+        fi
+      done
+done > /tmp/broken_links.$$
+
+if [ -s /tmp/broken_links.$$ ]; then
+  cat /tmp/broken_links.$$
+  status=1
+else
+  echo "doc links ok"
+fi
+rm -f /tmp/broken_links.$$
+exit $status

@@ -239,13 +239,14 @@ let test_oracle_rejected_is_not_correctness () =
   let config = Kconfig.default Version.Bpf_next in
   let result =
     { Loader.verdict =
-        Error { Bvf_verifier.Venv.errno = Bvf_verifier.Venv.EINVAL;
-                vmsg = "x"; vpc = 0 };
+        Error (Bvf_verifier.Venv.verr_make Bvf_verifier.Venv.EINVAL
+                 ~pc:0 "x");
       status = None;
       reports =
         [ Report.make (Report.Kernel_routine "bpf_prog_load")
             (Report.Warn "kmemdup of rewritten insns failed") ];
-      insns_executed = 0; witness = [] }
+      insns_executed = 0; witness = [];
+      verify_s = 0.; sanitize_s = 0.; exec_s = 0.; vlog = "" }
   in
   match Oracle.classify config result with
   | [ f ] ->
