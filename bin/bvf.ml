@@ -22,9 +22,14 @@ module Verifier = Bvf_verifier.Verifier
 module Venv = Bvf_verifier.Venv
 module Reject_reason = Bvf_verifier.Reject_reason
 module Loader = Bvf_runtime.Loader
+module Coverage = Bvf_verifier.Coverage
+module Vstats = Bvf_verifier.Vstats
+module Mclock = Bvf_util.Mclock
 module Campaign = Bvf_core.Campaign
 module Parallel = Bvf_core.Parallel
 module Telemetry = Bvf_core.Telemetry
+module Veristat = Bvf_core.Veristat
+module Progress = Bvf_core.Progress
 module Oracle = Bvf_core.Oracle
 module Selftests = Bvf_core.Selftests
 module Rng = Bvf_core.Rng
@@ -140,6 +145,14 @@ let log_level_t =
                per-instruction decisions, 2 adds register states \
                (mirrors the kernel's log_level attr).")
 
+let progress_t =
+  Arg.(value & opt (some float) None
+       & info [ "progress" ] ~docv:"SECS"
+         ~doc:"Print a live status line (execs/sec, accepted%, edges, \
+               findings, peak states) to stderr at most every $(docv) \
+               seconds.  Purely an observer: traces and digests are \
+               byte-identical with or without it.")
+
 (* The closing profile record is appended by the CLI, not emitted by
    the campaign: traces stay byte-deterministic for a fixed seed, and
    the profile carries the only wall-clock times in the file. *)
@@ -176,7 +189,7 @@ let print_findings (stats : Campaign.stats) : unit =
 let fuzz_cmd =
   let run version seed iterations tool no_sanitize fixed unprivileged
       witness failslab_rate failslab_seed checkpoint_path checkpoint_every
-      resume_path jobs trace log_level =
+      resume_path jobs trace log_level progress_every =
     let config =
       if fixed then Kconfig.fixed version else Kconfig.default version
     in
@@ -208,22 +221,30 @@ let fuzz_cmd =
       (List.length config.Kconfig.bugs)
       config.Kconfig.sanitize strategy.Campaign.s_name
       (if jobs > 1 then Printf.sprintf " across %d domains" jobs else "");
+    let progress =
+      Option.map
+        (fun every_s -> Progress.create ~every_s ~jobs ())
+        progress_every
+    in
     if jobs > 1 then begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = Mclock.now_s () in
       let result =
         try
           Parallel.run ~jobs ?trace ~log_level
             ?failslab_rate:
               (if failslab_rate > 0.0 then Some failslab_rate else None)
-            ?failslab_seed ~seed ~iterations strategy config
+            ?failslab_seed
+            ?on_step:(Option.map Progress.observer progress)
+            ~seed ~iterations strategy config
         with Campaign.Environment msg ->
           Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
           exit 3
       in
+      Option.iter Progress.finish progress;
       (match trace with
        | Some path ->
          append_profile path result.Parallel.pr_stats
-           ~wall_s:(Unix.gettimeofday () -. t0)
+           ~wall_s:(Mclock.elapsed_s ~since:t0)
        | None -> ());
       Format.printf "%a" Parallel.pp_summary result;
       Printf.printf "merged digest: %s\n" (Parallel.digest result);
@@ -259,7 +280,7 @@ let fuzz_cmd =
         | Some path -> Telemetry.create path
         | None -> Telemetry.null
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Mclock.now_s () in
       let stats =
         try
           Campaign.run
@@ -268,6 +289,10 @@ let fuzz_cmd =
             ?checkpoint_path
             ?failslab
             ?resume_from
+            ?on_step:
+              (Option.map
+                 (fun p c -> Progress.update p ~shard:0 c)
+                 progress)
             ~seed ~iterations strategy config
         with Campaign.Environment msg ->
           Telemetry.close telemetry;
@@ -275,9 +300,10 @@ let fuzz_cmd =
           exit 3
       in
       Telemetry.close telemetry;
+      Option.iter Progress.finish progress;
       (match trace with
        | Some path ->
-         append_profile path stats ~wall_s:(Unix.gettimeofday () -. t0)
+         append_profile path stats ~wall_s:(Mclock.elapsed_s ~since:t0)
        | None -> ());
       Format.printf "%a" Campaign.pp_summary stats;
       (match failslab with
@@ -292,7 +318,7 @@ let fuzz_cmd =
           $ no_sanitize_t $ fixed_t $ unprivileged_t $ witness_t
           $ failslab_t $ failslab_seed_t $ checkpoint_t
           $ checkpoint_every_t $ resume_t $ jobs_t $ trace_t
-          $ log_level_t)
+          $ log_level_t $ progress_t)
 
 (* -- explain ---------------------------------------------------------------- *)
 
@@ -322,30 +348,35 @@ let explain_cmd =
       (Array.length req.Verifier.r_insns)
       (Prog.prog_type_to_string req.Verifier.r_prog_type);
     print_string (Disasm.prog_to_string req.Verifier.r_insns);
-    let verdict, log =
-      Verifier.load_with_log session.Loader.kst ~cov:session.Loader.cov
+    let verdict, log, vstats =
+      Verifier.load_with_stats session.Loader.kst ~cov:session.Loader.cov
         ~log_level req
     in
     if log <> "" then begin
       Printf.printf "\nverifier log (level %d):\n" log_level;
       print_string log
     end;
-    match verdict with
-    | Ok prog ->
-      Printf.printf
-        "\nverdict: ACCEPTED (prog id %d, %d insns after rewrite, %d \
-         insns processed)\n"
-        prog.Verifier.l_id
-        (Array.length prog.Verifier.l_insns)
-        prog.Verifier.l_insn_processed
-    | Error e ->
-      Printf.printf "\nverdict: REJECTED at pc %d with -%s\n  %s\n"
-        e.Venv.vpc
-        (Venv.errno_to_string e.Venv.errno)
-        e.Venv.vmsg;
-      Printf.printf "reason: %s (%s)\n"
-        (Reject_reason.to_string e.Venv.vreason)
-        (Reject_reason.describe e.Venv.vreason)
+    (match verdict with
+     | Ok prog ->
+       Printf.printf
+         "\nverdict: ACCEPTED (prog id %d, %d insns after rewrite, %d \
+          insns processed)\n"
+         prog.Verifier.l_id
+         (Array.length prog.Verifier.l_insns)
+         prog.Verifier.l_insn_processed
+     | Error e ->
+       Printf.printf "\nverdict: REJECTED at pc %d with -%s\n  %s\n"
+         e.Venv.vpc
+         (Venv.errno_to_string e.Venv.errno)
+         e.Venv.vmsg;
+       Printf.printf "reason: %s (%s)\n"
+         (Reject_reason.to_string e.Venv.vreason)
+         (Reject_reason.describe e.Venv.vreason));
+    match vstats with
+    | Some vst ->
+      Printf.printf "\nverifier counters:\n  ";
+      Format.printf "%a@." Vstats.pp vst
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "explain"
@@ -543,6 +574,193 @@ let lint_cmd =
                  & info [ "out"; "o" ] ~docv:"PATH"
                    ~doc:"Also write the lint report to $(docv)."))
 
+(* -- veristat ----------------------------------------------------------------- *)
+
+let veristat_cmd =
+  let run version count gen seed json compare fail_on_regression files =
+    if compare then begin
+      match files with
+      | [ old_path; new_path ] ->
+        let load path =
+          try Veristat.load_file path with
+          | Sys_error msg ->
+            Printf.eprintf "bvf veristat: %s\n" msg;
+            exit 2
+          | Veristat.Bad_table msg ->
+            Printf.eprintf "bvf veristat: %s: %s\n" path msg;
+            exit 2
+        in
+        let old_t = load old_path and new_t = load new_path in
+        let c = Veristat.compare_tables ~old_t ~new_t in
+        Format.printf "%a" Veristat.pp_comparison c;
+        (match fail_on_regression with
+         | Some threshold_pct ->
+           (match Veristat.regressions ~threshold_pct c with
+            | [] ->
+              Printf.printf
+                "gate: no counter grew by more than %g%%\n" threshold_pct
+            | regs ->
+              List.iter
+                (fun m -> Printf.eprintf "regression: %s\n" m)
+                regs;
+              exit 1)
+         | None -> ())
+      | _ ->
+        Printf.eprintf
+          "bvf veristat: --compare takes exactly two table files \
+           (old.json new.json)\n";
+        exit 2
+    end
+    else begin
+      if files <> [] then begin
+        Printf.eprintf
+          "bvf veristat: positional table files require --compare\n";
+        exit 2
+      end;
+      let table =
+        if gen then Veristat.run_generated ~seed ~count version
+        else Veristat.run_selftests ~count version
+      in
+      match json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Veristat.to_json table);
+        close_out oc;
+        Printf.printf "wrote %d-program veristat table to %s\n"
+          (List.length table.Veristat.vt_rows)
+          path
+      | None -> Format.printf "%a" Veristat.pp_table table
+    end
+  in
+  Cmd.v
+    (Cmd.info "veristat"
+       ~doc:"The kernel-veristat workflow over the simulated verifier: \
+             run a program corpus, record per-program verifier \
+             performance counters (insn_processed, total_states, \
+             peak_states, ...), emit the table as text or JSONL, and \
+             diff two tables with a regression gate.")
+    Term.(const run $ version_t
+          $ Arg.(value & opt int 708
+                 & info [ "count"; "c" ] ~docv:"N"
+                   ~doc:"Number of programs to run.")
+          $ Arg.(value & flag
+                 & info [ "gen" ]
+                   ~doc:"Run a structured-generator batch under --seed \
+                         instead of the self-test corpus.")
+          $ seed_t
+          $ Arg.(value & opt (some string) None
+                 & info [ "json" ] ~docv:"PATH"
+                   ~doc:"Write the table as JSONL to $(docv) instead of \
+                         printing it.")
+          $ Arg.(value & flag
+                 & info [ "compare" ]
+                   ~doc:"Compare two previously written JSONL tables \
+                         (positional: old.json new.json) instead of \
+                         running a corpus.")
+          $ Arg.(value & opt (some float) None
+                 & info [ "fail-on-regression" ] ~docv:"PCT"
+                   ~doc:"With --compare: exit 1 if any counter total \
+                         grows by more than $(docv) percent, or any \
+                         program's verdict flips.")
+          $ Arg.(value & pos_all string []
+                 & info [] ~docv:"TABLE"
+                   ~doc:"JSONL tables for --compare."))
+
+(* -- cov ---------------------------------------------------------------------- *)
+
+let cov_cmd =
+  let run diff files =
+    let load path =
+      match Campaign.load_checkpoint ~path with
+      | Ok s -> s
+      | Error e ->
+        Printf.eprintf "bvf cov: cannot read checkpoint %s: %s\n" path
+          (Checkpoint.error_to_string e);
+        exit 2
+    in
+    if diff then begin
+      match files with
+      | [ old_path; new_path ] ->
+        let old_s = load old_path and new_s = load new_path in
+        let gained, lost =
+          Coverage.diff ~old_cov:old_s.Campaign.sn_cov
+            ~new_cov:new_s.Campaign.sn_cov
+        in
+        Printf.printf "coverage %s (%d edges) -> %s (%d edges)\n"
+          old_path
+          (Coverage.edge_count old_s.Campaign.sn_cov)
+          new_path
+          (Coverage.edge_count new_s.Campaign.sn_cov);
+        Printf.printf "gained %d, lost %d\n" (List.length gained)
+          (List.length lost);
+        List.iter
+          (fun (site, variant) ->
+             Printf.printf "  + %s variant %d\n" site variant)
+          gained;
+        List.iter
+          (fun (site, variant) ->
+             Printf.printf "  - %s variant %d\n" site variant)
+          lost
+      | _ ->
+        Printf.eprintf
+          "bvf cov: --diff takes exactly two checkpoint files \
+           (old.ckpt new.ckpt)\n";
+        exit 2
+    end
+    else begin
+      match files with
+      | [ path ] ->
+        let s = load path in
+        let cov = s.Campaign.sn_cov in
+        Printf.printf
+          "checkpoint %s: %d iterations completed, %d distinct edges\n"
+          path s.Campaign.sn_completed
+          (Coverage.edge_count cov);
+        List.iter
+          (fun (prefix, (distinct, hits, listing)) ->
+             Printf.printf "\n%s: %d edges, %d hits\n" prefix distinct
+               hits;
+             List.iter
+               (fun ((site, variant), h) ->
+                  Printf.printf "  %-32s variant %2d: %d\n" site variant
+                    h)
+               listing)
+          (Coverage.grouped cov);
+        (match Campaign.plateau s.Campaign.sn_stats with
+         | Some (last_gain, stalled) when stalled > 0 ->
+           Printf.printf
+             "\nplateau: last coverage gain at iteration %d; %d \
+              iterations since without a new edge\n"
+             last_gain stalled
+         | Some (last_gain, _) ->
+           Printf.printf
+             "\nno plateau: coverage still growing at the last sample \
+              (iteration %d)\n"
+             last_gain
+         | None -> ())
+      | _ ->
+        Printf.eprintf
+          "bvf cov: takes exactly one checkpoint file (or two with \
+           --diff)\n";
+        exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "cov"
+       ~doc:"Inspect the coverage map inside a campaign checkpoint: \
+             edges grouped by verifier site, the coverage-plateau \
+             report, or (with --diff) the edges gained and lost between \
+             two checkpoints.")
+    Term.(const run
+          $ Arg.(value & flag
+                 & info [ "diff" ]
+                   ~doc:"Diff two checkpoints' coverage maps (gained \
+                         and lost edges).")
+          $ Arg.(value & pos_all string []
+                 & info [] ~docv:"CHECKPOINT"
+                   ~doc:"Checkpoint file(s) written by $(b,bvf fuzz \
+                         --checkpoint)."))
+
 (* -- experiments -------------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -574,5 +792,6 @@ let () =
             structured and sanitized programs."
   in
   exit (Cmd.eval (Cmd.group info
-                    [ fuzz_cmd; explain_cmd; stats_cmd; repro_cmd;
-                      selftests_cmd; lint_cmd; experiments_cmd ]))
+                    [ fuzz_cmd; explain_cmd; stats_cmd; veristat_cmd;
+                      cov_cmd; repro_cmd; selftests_cmd; lint_cmd;
+                      experiments_cmd ]))

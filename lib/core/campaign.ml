@@ -79,6 +79,10 @@ type stats = {
   mutable st_verify_s : float;
   mutable st_sanitize_s : float;
   mutable st_exec_s : float;
+  (* veristat-style verifier-counter aggregate: totals, maxima and log2
+     histograms over every analysis that ran.  Deterministic, so part
+     of [digest]; merged across shards like coverage. *)
+  st_vstats : Vstats.agg;
 }
 
 let acceptance_rate (s : stats) : float =
@@ -138,7 +142,26 @@ let digest ?(exclude_finding = fun (_ : string) -> false) (s : stats) :
   List.iter
     (fun sa -> Printf.bprintf b "curve %d %d\n" sa.sa_iteration sa.sa_edges)
     s.st_curve;
+  List.iter
+    (fun line -> Printf.bprintf b "%s\n" line)
+    (Vstats.agg_digest_lines s.st_vstats);
   Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Coverage-plateau report from the sampled curve: [Some (last_gain,
+   stalled)] where [last_gain] is the earliest sampled iteration
+   already at the final edge count and [stalled] how many iterations ran
+   past it without a new edge; [None] before any sample exists. *)
+let plateau (s : stats) : (int * int) option =
+  match s.st_curve with
+  | [] -> None
+  | (newest : sample) :: older ->
+    let last_gain =
+      List.fold_left
+        (fun acc sa -> if sa.sa_edges = newest.sa_edges then sa else acc)
+        newest older
+    in
+    Some (last_gain.sa_iteration,
+          newest.sa_iteration - last_gain.sa_iteration)
 
 (* Standard map population for a session: one of each interesting kind.
    Under fault injection a creation can fail with -ENOMEM; the session
@@ -252,6 +275,7 @@ let create ?(sample_every = 64) ?(telemetry = Telemetry.null)
         st_verify_s = 0.;
         st_sanitize_s = 0.;
         st_exec_s = 0.;
+        st_vstats = Vstats.agg_zero ();
       };
     session;
     gen_config;
@@ -269,9 +293,10 @@ let step (c : t) : unit =
     else None
   in
   let seed_req = Option.map (fun e -> e.Corpus.request) seed_entry in
-  let t_gen = Unix.gettimeofday () in
+  let t_gen = Bvf_util.Mclock.now_s () in
   let req = c.strategy.s_generate c.rng c.gen_config seed_req in
-  stats.st_gen_s <- stats.st_gen_s +. (Unix.gettimeofday () -. t_gen);
+  stats.st_gen_s <-
+    stats.st_gen_s +. Bvf_util.Mclock.elapsed_s ~since:t_gen;
   stats.st_generated <- stats.st_generated + 1;
   stats.st_histogram <-
     Array.fold_left Disasm.classify stats.st_histogram
@@ -328,6 +353,25 @@ let step (c : t) : unit =
           { iter = iteration; prog_type; reason = r;
             errno = Venv.errno_to_string e.Venv.errno; pc = e.Venv.vpc;
             msg = e.Venv.vmsg }));
+  (* verifier performance counters of the attempt that produced the
+     verdict (absent when the load failed before analysis): aggregate
+     and trace.  Counters are deterministic, so the event keeps traces
+     byte-identical per seed. *)
+  (match result.Loader.vstats with
+   | Some v ->
+     Vstats.agg_add stats.st_vstats v;
+     Telemetry.emit c.telemetry
+       (Telemetry.Vstats
+          { iter = iteration;
+            insn_processed = v.Vstats.vs_insn_processed;
+            total_states = v.Vstats.vs_total_states;
+            peak_states = v.Vstats.vs_peak_states;
+            max_states_per_insn = v.Vstats.vs_max_states_per_insn;
+            prune_hits = v.Vstats.vs_prune_hits;
+            prune_misses = v.Vstats.vs_prune_misses;
+            loops_detected = v.Vstats.vs_loops_detected;
+            branch_hwm = v.Vstats.vs_branch_hwm })
+   | None -> ());
   if c.strategy.s_feedback then
     Corpus.add c.corpus ~iteration ~new_edges req;
   let findings = Oracle.classify c.config result in
@@ -389,8 +433,8 @@ type snapshot = {
   sn_stats : stats;
 }
 
-(* /3: stats gained the rejection-reason table and phase timers. *)
-let checkpoint_tag = "bvf-campaign/3"
+(* /4: stats gained the veristat-counter aggregate (st_vstats). *)
+let checkpoint_tag = "bvf-campaign/4"
 
 let snapshot (c : t) : snapshot =
   {
@@ -475,7 +519,7 @@ let resume ?(sample_every = 64) ?(telemetry = Telemetry.null)
 (* -- Driving ----------------------------------------------------------- *)
 
 let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
-    ?checkpoint_path ?failslab ?resume_from ~(seed : int)
+    ?checkpoint_path ?failslab ?resume_from ?on_step ~(seed : int)
     ~(iterations : int) (strategy : strategy) (config : Kconfig.t) : t =
   let c =
     match resume_from with
@@ -495,6 +539,9 @@ let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
   in
   for _ = 1 to iterations do
     step c;
+    (* observer hook ([--progress]): runs outside the deterministic
+       core, after all of the iteration's telemetry was emitted *)
+    (match on_step with Some f -> f c | None -> ());
     if at_barrier () then begin
       (match checkpoint_path with
        | Some path -> begin
@@ -529,12 +576,12 @@ let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
   c
 
 let run ?sample_every ?telemetry ?log_level ?checkpoint_every
-    ?checkpoint_path ?failslab ?resume_from ~(seed : int)
+    ?checkpoint_path ?failslab ?resume_from ?on_step ~(seed : int)
     ~(iterations : int) (strategy : strategy) (config : Kconfig.t) :
   stats =
   (run_t ?sample_every ?telemetry ?log_level ?checkpoint_every
-     ?checkpoint_path ?failslab ?resume_from ~seed ~iterations strategy
-     config)
+     ?checkpoint_path ?failslab ?resume_from ?on_step ~seed ~iterations
+     strategy config)
     .stats
 
 let pp_summary fmt (s : stats) : unit =
@@ -554,4 +601,5 @@ let pp_summary fmt (s : stats) : unit =
       "  environment: %d transient errors (%d retried away), %d corpus entries quarantined@."
       s.st_env_errors s.st_retries s.st_quarantined;
   if s.st_lint > 0 then
-    Format.fprintf fmt "  lint: %d invariant violations@." s.st_lint
+    Format.fprintf fmt "  lint: %d invariant violations@." s.st_lint;
+  Vstats.pp_agg fmt s.st_vstats

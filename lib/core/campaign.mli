@@ -64,6 +64,10 @@ type stats = {
   mutable st_verify_s : float;   (** wall time in the verifier *)
   mutable st_sanitize_s : float; (** wall time in fixup + sanitation *)
   mutable st_exec_s : float;     (** wall time executing programs *)
+  st_vstats : Bvf_verifier.Vstats.agg;
+      (** veristat-style verifier-counter aggregate over every analysis
+          that ran.  Deterministic (no wall times), so part of
+          {!digest}; merged across shards like coverage. *)
 }
 
 val acceptance_rate : stats -> float
@@ -73,6 +77,12 @@ val correctness_bugs_found : stats -> Bvf_kernel.Kconfig.bug list
 val fingerprints : stats -> string list
 (** Sorted deduplication keys (fingerprint plus attributed bug) of every
     finding — a campaign's findings identity. *)
+
+val plateau : stats -> (int * int) option
+(** Coverage-plateau report from the sampled curve: [Some (last_gain,
+    stalled)] where [last_gain] is the earliest sampled iteration
+    already at the final edge count and [stalled] how many iterations
+    ran past it without a new edge.  [None] before any sample exists. *)
 
 val digest : ?exclude_finding:(string -> bool) -> stats -> string
 (** Canonical hex digest of everything the campaign observed: counters,
@@ -176,7 +186,8 @@ val resume :
 val run_t :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
   ?checkpoint_every:int -> ?checkpoint_path:string ->
-  ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot -> seed:int ->
+  ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot ->
+  ?on_step:(t -> unit) -> seed:int ->
   iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> t
 (** Like {!run} but returns the whole campaign, giving callers (the
     parallel shard runner, tests) access to the final coverage map and
@@ -185,7 +196,8 @@ val run_t :
 val run :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
   ?checkpoint_every:int -> ?checkpoint_path:string ->
-  ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot -> seed:int ->
+  ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot ->
+  ?on_step:(t -> unit) -> seed:int ->
   iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> stats
 (** Drive [iterations] steps.  Every [checkpoint_every] completed
     iterations (absolute count, so resumed runs hit the same barriers)
@@ -193,7 +205,9 @@ val run :
     reboots the kernel — the barrier that makes resume deterministic.
     The closing coverage sample is deduplicated by iteration, so
     finalizing a campaign twice (or on a sample boundary) never records
-    the same iteration twice.
+    the same iteration twice.  [on_step] (the [--progress] observer) is
+    called after each completed iteration, outside the deterministic
+    core: it must not mutate the campaign.
     @raise Environment on checkpoint write failure. *)
 
 val pp_summary : Format.formatter -> stats -> unit

@@ -21,3 +21,4 @@ module Coverage = Bvf_verifier.Coverage
 module Loader = Bvf_runtime.Loader
 module Exec = Bvf_runtime.Exec
 module Reject_reason = Bvf_verifier.Reject_reason
+module Vstats = Bvf_verifier.Vstats

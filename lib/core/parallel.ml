@@ -197,6 +197,13 @@ let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
       st_verify_s = sumf (fun s -> s.Campaign.st_verify_s);
       st_sanitize_s = sumf (fun s -> s.Campaign.st_sanitize_s);
       st_exec_s = sumf (fun s -> s.Campaign.st_exec_s);
+      st_vstats =
+        (let merged = Vstats.agg_zero () in
+         List.iter
+           (fun sh ->
+              Vstats.agg_absorb merged sh.sh_stats.Campaign.st_vstats)
+           shards;
+         merged);
     }
 
 let merge_corpora ~(jobs : int) ?(max_size = 256) (shards : shard list) :
@@ -230,8 +237,9 @@ let shard_trace_path (trace : string) (i : int) : string =
   trace ^ ".shard" ^ string_of_int i
 
 let run ?(sample_every = 64) ?trace ?log_level ?failslab_rate
-    ?failslab_seed ~(jobs : int) ~(seed : int) ~(iterations : int)
-    (strategy : Campaign.strategy) (config : Kconfig.t) : result =
+    ?failslab_seed ?on_step ~(jobs : int) ~(seed : int)
+    ~(iterations : int) (strategy : Campaign.strategy)
+    (config : Kconfig.t) : result =
   if jobs < 1 then invalid_arg "Parallel.run: jobs < 1";
   let counts = shard_iterations ~iterations ~jobs in
   let plan_for (i : int) : Bvf_kernel.Failslab.t option =
@@ -259,10 +267,11 @@ let run ?(sample_every = 64) ?trace ?log_level ?failslab_rate
   in
   let run_shard (i : int) : Campaign.t =
     let telemetry = sink_for i in
+    let on_step = Option.map (fun f -> f i) on_step in
     let c =
       Campaign.run_t ~sample_every ~telemetry ?log_level
-        ?failslab:(plan_for i) ~seed:(seed + i) ~iterations:counts.(i)
-        strategy config
+        ?failslab:(plan_for i) ?on_step ~seed:(seed + i)
+        ~iterations:counts.(i) strategy config
     in
     Telemetry.close telemetry;
     c

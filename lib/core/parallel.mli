@@ -58,6 +58,7 @@ val merge_corpora : jobs:int -> ?max_size:int -> shard list -> Corpus.t
 val run :
   ?sample_every:int -> ?trace:string -> ?log_level:int ->
   ?failslab_rate:float -> ?failslab_seed:int ->
+  ?on_step:(int -> Campaign.t -> unit) ->
   jobs:int -> seed:int -> iterations:int -> Campaign.strategy ->
   Bvf_kernel.Kconfig.t -> result
 (** Run [iterations] total fuzzing iterations sharded across [jobs]
@@ -72,6 +73,9 @@ val run :
     [trace] and removes the shard files.  With [jobs = 1] the campaign
     writes [trace] directly, byte-identical to a sequential run's
     trace.  [log_level] sets the verifier log level for every load.
+    [on_step shard] builds the per-shard step observer (the
+    [--progress] status line); it runs on the shard's domain after each
+    completed iteration and must not mutate the campaign.
     @raise Invalid_argument when [jobs < 1].
     @raise Campaign.Environment if any shard raises it. *)
 

@@ -1,0 +1,93 @@
+(* Syzkaller-style live status line for long fuzzing runs:
+
+     2026/08/06 12:00:00 execs: 48128 (1604/sec), accepted 31.2%,
+       edges: 183, findings: 4, peak states: 19
+
+   Strictly an observer: it reads campaign stats from the per-shard
+   [on_step] hooks and writes to a channel of the caller's choosing
+   (stderr for the CLI), so traces, stats and digests stay
+   byte-identical with or without it.  Shards publish into per-slot
+   atomics and any shard's hook may print (claiming the tick with a CAS
+   on the last-print time), so no monitor domain is needed. *)
+
+type slot = {
+  sl_generated : int Atomic.t;
+  sl_accepted : int Atomic.t;
+  sl_edges : int Atomic.t;
+  sl_findings : int Atomic.t;
+  sl_peak_states : int Atomic.t;
+}
+
+type t = {
+  out : out_channel;
+  every_s : float;
+  t0 : float;
+  last_print : float Atomic.t;
+  shards : slot array;
+}
+
+let create ?(out = stderr) ~(every_s : float) ~(jobs : int) () : t =
+  let now = Bvf_util.Mclock.now_s () in
+  {
+    out;
+    every_s;
+    t0 = now;
+    last_print = Atomic.make now;
+    shards =
+      Array.init (max 1 jobs) (fun _ ->
+          {
+            sl_generated = Atomic.make 0;
+            sl_accepted = Atomic.make 0;
+            sl_edges = Atomic.make 0;
+            sl_findings = Atomic.make 0;
+            sl_peak_states = Atomic.make 0;
+          });
+  }
+
+let print_line (t : t) : unit =
+  let sum f = Array.fold_left (fun n s -> n + Atomic.get (f s)) 0 t.shards
+  and maxi f =
+    Array.fold_left (fun n s -> max n (Atomic.get (f s))) 0 t.shards
+  in
+  let generated = sum (fun s -> s.sl_generated) in
+  let accepted = sum (fun s -> s.sl_accepted) in
+  let elapsed = Bvf_util.Mclock.elapsed_s ~since:t.t0 in
+  let rate =
+    if elapsed > 0.0 then float_of_int generated /. elapsed else 0.0
+  in
+  let pct =
+    if generated > 0 then
+      100.0 *. float_of_int accepted /. float_of_int generated
+    else 0.0
+  in
+  Printf.fprintf t.out
+    "execs: %d (%.0f/sec), accepted %.1f%%, edges: %d, findings: %d, peak states: %d\n%!"
+    generated rate pct
+    (sum (fun s -> s.sl_edges))
+    (sum (fun s -> s.sl_findings))
+    (maxi (fun s -> s.sl_peak_states))
+
+(* Publish one shard's stats, then print if this call wins the tick.
+   The CAS both rate-limits and serializes: concurrent hooks race for
+   the same [last_print] value and exactly one advances it. *)
+let update (t : t) ~(shard : int) (c : Campaign.t) : unit =
+  let slot = t.shards.(shard mod Array.length t.shards) in
+  let stats = c.Campaign.stats in
+  Atomic.set slot.sl_generated stats.Campaign.st_generated;
+  Atomic.set slot.sl_accepted stats.Campaign.st_accepted;
+  Atomic.set slot.sl_edges stats.Campaign.st_edges;
+  Atomic.set slot.sl_findings
+    (Hashtbl.length stats.Campaign.st_findings);
+  Atomic.set slot.sl_peak_states
+    stats.Campaign.st_vstats.Bvf_verifier.Vstats.ag_peak_states_max;
+  let now = Bvf_util.Mclock.now_s () in
+  let last = Atomic.get t.last_print in
+  if now -. last >= t.every_s
+     && Atomic.compare_and_set t.last_print last now
+  then print_line t
+
+(* Closing line, unconditional: the run's final totals. *)
+let finish (t : t) : unit = print_line t
+
+let observer (t : t) : int -> Campaign.t -> unit =
+  fun shard c -> update t ~shard c

@@ -1,0 +1,24 @@
+(** Syzkaller-style live status line for long fuzzing runs (the CLI's
+    [--progress <secs>]).
+
+    Strictly an observer: it reads campaign stats from the per-shard
+    [on_step] hooks and writes to its own channel (stderr for the CLI),
+    so traces, stats and digests stay byte-identical with or without
+    it.  Safe to update concurrently from several shard domains. *)
+
+type t
+
+val create : ?out:out_channel -> every_s:float -> jobs:int -> unit -> t
+(** [out] defaults to [stderr].  [every_s] is the minimum interval
+    between printed lines; [0.0] prints on every update (tests). *)
+
+val update : t -> shard:int -> Campaign.t -> unit
+(** Publish one shard's current stats; prints a status line if at least
+    [every_s] has passed since the last one (one winner under
+    concurrency). *)
+
+val observer : t -> int -> Campaign.t -> unit
+(** [update] curried to the shape of {!Parallel.run}'s [on_step]. *)
+
+val finish : t -> unit
+(** Print the closing totals line unconditionally. *)

@@ -35,6 +35,17 @@ type event =
       bug : string option;
       correctness : bool;
     }
+  | Vstats of {
+      iter : int;
+      insn_processed : int;
+      total_states : int;
+      peak_states : int;
+      max_states_per_insn : int;
+      prune_hits : int;
+      prune_misses : int;
+      loops_detected : int;
+      branch_hwm : int;
+    }
   | Checkpoint of { iter : int }
   | Shard_merge of { shards : int; events : int }
   | Profile of {
@@ -48,7 +59,8 @@ type event =
 
 let iter_of = function
   | Generated { iter; _ } | Accepted { iter; _ } | Rejected { iter; _ }
-  | Finding { iter; _ } | Checkpoint { iter } -> Some iter
+  | Finding { iter; _ } | Vstats { iter; _ } | Checkpoint { iter } ->
+    Some iter
   | Shard_merge _ | Profile _ -> None
 
 (* -- JSON encoding -------------------------------------------------- *)
@@ -94,6 +106,14 @@ let to_json (ev : event) : string =
      tag "finding"; int "iter" iter; str "fingerprint" fingerprint;
      (match bug with Some bug -> str "bug" bug | None -> ());
      bol "correctness" correctness
+   | Vstats { iter; insn_processed; total_states; peak_states;
+              max_states_per_insn; prune_hits; prune_misses;
+              loops_detected; branch_hwm } ->
+     tag "vstats"; int "iter" iter; int "insn_processed" insn_processed;
+     int "total_states" total_states; int "peak_states" peak_states;
+     int "max_states_per_insn" max_states_per_insn;
+     int "prune_hits" prune_hits; int "prune_misses" prune_misses;
+     int "loops_detected" loops_detected; int "branch_hwm" branch_hwm
    | Checkpoint { iter } -> tag "checkpoint"; int "iter" iter
    | Shard_merge { shards; events } ->
      tag "shard_merge"; int "shards" shards; int "events" events
@@ -252,6 +272,16 @@ let of_json (line : string) : event option =
       Some (Finding { iter = int "iter"; fingerprint = str "fingerprint";
                       bug = str_opt "bug";
                       correctness = bol "correctness" })
+    | "vstats" ->
+      Some (Vstats { iter = int "iter";
+                     insn_processed = int "insn_processed";
+                     total_states = int "total_states";
+                     peak_states = int "peak_states";
+                     max_states_per_insn = int "max_states_per_insn";
+                     prune_hits = int "prune_hits";
+                     prune_misses = int "prune_misses";
+                     loops_detected = int "loops_detected";
+                     branch_hwm = int "branch_hwm" })
     | "checkpoint" -> Some (Checkpoint { iter = int "iter" })
     | "shard_merge" ->
       Some (Shard_merge { shards = int "shards"; events = int "events" })
@@ -284,6 +314,7 @@ let map_iter (f : int -> int) (ev : event) : event =
   | Accepted e -> Accepted { e with iter = f e.iter }
   | Rejected e -> Rejected { e with iter = f e.iter }
   | Finding e -> Finding { e with iter = f e.iter }
+  | Vstats e -> Vstats { e with iter = f e.iter }
   | Checkpoint { iter } -> Checkpoint { iter = f iter }
   | Shard_merge _ | Profile _ -> ev
 
@@ -346,6 +377,17 @@ let merge_shards ~(into : string) (shard_paths : string list) : int =
 
 (* -- Aggregation ---------------------------------------------------- *)
 
+(* Distribution of one deterministic counter over the trace's vstats
+   events: total plus the p50/p95 order statistics (nearest-rank on the
+   sorted samples, index (p * (n-1)) / 100). *)
+type dist = { d_total : int; d_p50 : int; d_p95 : int }
+
+type vstats_summary = {
+  vsu_count : int;            (* vstats events seen *)
+  vsu_insn_processed : dist;
+  vsu_peak_states : dist;
+}
+
 type summary = {
   su_events : int;
   su_generated : int;
@@ -355,8 +397,16 @@ type summary = {
   su_checkpoints : int;
   su_by_type : (string * (int * int)) list;
   su_reasons : (Reject_reason.t * int) list;
+  su_vstats : vstats_summary option;
   su_profile : event option;
 }
+
+let dist_of (samples : int list) : dist =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let pct p = if n = 0 then 0 else a.(p * (n - 1) / 100) in
+  { d_total = Array.fold_left ( + ) 0 a; d_p50 = pct 50; d_p95 = pct 95 }
 
 let summarize (events : event list) : summary =
   let by_type : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
@@ -364,6 +414,7 @@ let summarize (events : event list) : summary =
   let generated = ref 0 and accepted = ref 0 and rejected = ref 0 in
   let findings = ref 0 and checkpoints = ref 0 in
   let profile = ref None in
+  let vs_insn = ref [] and vs_peak = ref [] and vs_count = ref 0 in
   let bump_type pt ~acc =
     let g, a = Option.value (Hashtbl.find_opt by_type pt) ~default:(0, 0)
     in
@@ -381,6 +432,10 @@ let summarize (events : event list) : summary =
          Hashtbl.replace reasons reason
            (1 + Option.value (Hashtbl.find_opt reasons reason) ~default:0)
        | Finding _ -> incr findings
+       | Vstats { insn_processed; peak_states; _ } ->
+         incr vs_count;
+         vs_insn := insn_processed :: !vs_insn;
+         vs_peak := peak_states :: !vs_peak
        | Checkpoint _ -> incr checkpoints
        | Shard_merge _ -> ()
        | Profile _ -> profile := Some ev)
@@ -402,6 +457,13 @@ let summarize (events : event list) : summary =
           | 0 -> compare (Reject_reason.to_string ra)
                    (Reject_reason.to_string rb)
           | c -> c);
+    su_vstats =
+      (if !vs_count = 0 then None
+       else
+         Some
+           { vsu_count = !vs_count;
+             vsu_insn_processed = dist_of !vs_insn;
+             vsu_peak_states = dist_of !vs_peak });
     su_profile = !profile;
   }
 
@@ -437,6 +499,14 @@ let pp_summary fmt (s : summary) : unit =
            (Reject_reason.describe r))
       s.su_reasons
   end;
+  (match s.su_vstats with
+   | Some v ->
+     Format.fprintf fmt
+       "@.  verifier over %d analyses: insn_processed total %d (p50 %d, p95 %d), peak_states total %d (p50 %d, p95 %d)@."
+       v.vsu_count v.vsu_insn_processed.d_total v.vsu_insn_processed.d_p50
+       v.vsu_insn_processed.d_p95 v.vsu_peak_states.d_total
+       v.vsu_peak_states.d_p50 v.vsu_peak_states.d_p95
+   | None -> ());
   match s.su_profile with
   | Some (Profile { programs; gen_s; verify_s; sanitize_s; exec_s;
                     wall_s }) ->

@@ -32,6 +32,20 @@ type event =
       bug : string option;   (** ground-truth attribution, when known *)
       correctness : bool;
     }  (** first sighting only; dedup'd like {!Campaign.stats} *)
+  | Vstats of {
+      iter : int;
+      insn_processed : int;
+      total_states : int;
+      peak_states : int;
+      max_states_per_insn : int;
+      prune_hits : int;
+      prune_misses : int;
+      loops_detected : int;
+      branch_hwm : int;
+    }
+      (** veristat-style verifier counters of the iteration's analysis.
+          Deterministic (no wall times), so part of the byte-identical
+          trace contract.  Emitted only when the analysis ran. *)
   | Checkpoint of { iter : int }
   | Shard_merge of { shards : int; events : int }
       (** appended by {!merge_shards} *)
@@ -83,7 +97,35 @@ val merge_shards : into:string -> string list -> int
     [Shard_merge] event.  Returns the number of merged events.  Missing
     shard files are treated as empty. *)
 
+(** {1 Flat JSON helpers}
+
+    The trace schema is flat (string / int / float / bool fields, one
+    object per line); these are the shared encoder/parser pieces other
+    JSONL emitters (the veristat table) reuse so every JSON line in the
+    repository round-trips through one parser. *)
+
+type jvalue = Jstr of string | Jnum of float | Jbool of bool | Jnull
+
+exception Parse
+
+val parse_object : string -> (string * jvalue) list
+(** Parse one flat JSON object; raises {!Parse} on malformed input or
+    nested containers (not part of any schema here). *)
+
+val escape : Buffer.t -> string -> unit
+(** Append a JSON-escaped copy of the string (no surrounding quotes). *)
+
 (** {1 Aggregation — the [bvf stats] core} *)
+
+(** Distribution of one deterministic counter over a trace's vstats
+    events: total plus nearest-rank p50/p95. *)
+type dist = { d_total : int; d_p50 : int; d_p95 : int }
+
+type vstats_summary = {
+  vsu_count : int;  (** vstats events seen *)
+  vsu_insn_processed : dist;
+  vsu_peak_states : dist;
+}
 
 type summary = {
   su_events : int;
@@ -96,6 +138,9 @@ type summary = {
       (** prog type -> (generated, accepted), sorted by name *)
   su_reasons : (Bvf_verifier.Reject_reason.t * int) list;
       (** rejection taxonomy, most frequent first *)
+  su_vstats : vstats_summary option;
+      (** verifier-counter distributions; [None] when the trace carries
+          no vstats events (pre-PR-5 traces stay summarizable) *)
   su_profile : event option;  (** the last [Profile] record, if any *)
 }
 

@@ -66,6 +66,8 @@ type run_result = {
   sanitize_s : float;             (* wall time of fixup + sanitation *)
   exec_s : float;                 (* wall time executing (0 if rejected) *)
   vlog : string;                  (* verifier log, whatever the verdict *)
+  vstats : Vstats.t option;       (* verifier performance counters; None
+                                     when the load failed pre-analysis *)
 }
 
 let attach (t : t) (prog : Verifier.loaded) : unit =
@@ -134,26 +136,27 @@ let execute (t : t) (prog : Verifier.loaded) : Exec.result =
 (* The complete cycle the fuzzer performs for each generated input. *)
 let load_and_run ?log_level (t : t) (req : Verifier.request) : run_result =
   let baseline = List.length (Kstate.peek_reports t.kst) in
-  let t_load = Unix.gettimeofday () in
-  let verdict, vlog = Verifier.load_with_log t.kst ~cov:t.cov ?log_level req
+  let t_load = Bvf_util.Mclock.now_s () in
+  let verdict, vlog, vstats =
+    Verifier.load_with_stats t.kst ~cov:t.cov ?log_level req
   in
-  let load_s = Unix.gettimeofday () -. t_load in
+  let load_s = Bvf_util.Mclock.elapsed_s ~since:t_load in
   match verdict with
   | Error e ->
     let all = Kstate.peek_reports t.kst in
     { verdict = Error e; status = None;
       reports = List.filteri (fun i _ -> i >= baseline) all;
       insns_executed = 0; witness = [];
-      verify_s = load_s; sanitize_s = 0.; exec_s = 0.; vlog }
+      verify_s = load_s; sanitize_s = 0.; exec_s = 0.; vlog; vstats }
   | Ok prog ->
     attach t prog;
-    let t_exec = Unix.gettimeofday () in
+    let t_exec = Bvf_util.Mclock.now_s () in
     let result = execute t prog in
-    let exec_s = Unix.gettimeofday () -. t_exec in
+    let exec_s = Bvf_util.Mclock.elapsed_s ~since:t_exec in
     let all = Kstate.peek_reports t.kst in
     { verdict = Ok prog; status = Some result.Exec.status;
       reports = List.filteri (fun i _ -> i >= baseline) all;
       insns_executed = result.Exec.insns_executed;
       witness = result.Exec.witness;
       verify_s = load_s -. prog.Verifier.l_sanitize_s;
-      sanitize_s = prog.Verifier.l_sanitize_s; exec_s; vlog }
+      sanitize_s = prog.Verifier.l_sanitize_s; exec_s; vlog; vstats }

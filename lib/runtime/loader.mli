@@ -40,6 +40,9 @@ type run_result = {
   sanitize_s : float;(** wall time of the fixup + sanitation rewrites *)
   exec_s : float;    (** wall time executing; 0 when rejected *)
   vlog : string;     (** verifier log, whatever the verdict *)
+  vstats : Bvf_verifier.Vstats.t option;
+      (** veristat-style verifier performance counters; [None] when the
+          load failed before analysis *)
 }
 
 val attach : t -> Bvf_verifier.Verifier.loaded -> unit

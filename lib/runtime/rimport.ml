@@ -19,3 +19,4 @@ module Verifier = Bvf_verifier.Verifier
 module Venv = Bvf_verifier.Venv
 module Coverage = Bvf_verifier.Coverage
 module Regstate = Bvf_verifier.Regstate
+module Vstats = Bvf_verifier.Vstats

@@ -198,6 +198,7 @@ let maybe_prune (env : Venv.t) ~(pc : int)
         (* the current path came back to one of its own states: no loop
            variable made progress (kernel "infinite loop detected") *)
         Venv.cov env "prune:loop";
+        Vstats.loop_detected env.Venv.vst;
         Venv.reject env ~pc Venv.EINVAL
           "infinite loop detected at insn %d" pc
       end
@@ -207,14 +208,18 @@ let maybe_prune (env : Venv.t) ~(pc : int)
         false
     | Some _ ->
       Venv.cov env "prune:hit";
+      Vstats.prune_hit env.Venv.vst;
       true
     | None ->
+      Vstats.prune_miss env.Venv.vst;
       if List.length stored < Venv.max_explored_per_insn then begin
         let e =
           { Venv.e_state = Vstate.copy env.Venv.st; e_branches = 1 }
         in
         Hashtbl.replace env.Venv.explored pc (e :: stored);
-        env.Venv.ancestors <- e :: env.Venv.ancestors
+        env.Venv.ancestors <- e :: env.Venv.ancestors;
+        Vstats.state_stored env.Venv.vst
+          ~at_insn:(List.length stored + 1)
       end;
       false
   end
@@ -226,12 +231,16 @@ let run (env : Venv.t) : unit =
   let insns = env.Venv.insns in
   let targets = jump_targets insns in
   env.Venv.branch_stack <- [ (0, env.Venv.st, []) ];
+  Vstats.branch_pushed env.Venv.vst;
   (* the current path is done: every state it ran under has one fewer
-     unfinished descendant *)
+     unfinished descendant.  An entry dropping to zero unfinished paths
+     is no longer live: its whole subtree is verified (peak_states
+     tracks the live count). *)
   let end_path () =
     List.iter
       (fun (e : Venv.explored_entry) ->
-         e.Venv.e_branches <- e.Venv.e_branches - 1)
+         e.Venv.e_branches <- e.Venv.e_branches - 1;
+         if e.Venv.e_branches = 0 then Vstats.state_done env.Venv.vst)
       env.Venv.ancestors;
     env.Venv.ancestors <- []
   in
@@ -240,12 +249,13 @@ let run (env : Venv.t) : unit =
     match env.Venv.branch_stack with
     | [] -> ()
     | (pc, st, ancestors) :: rest ->
+      Vstats.branch_popped env.Venv.vst;
       env.Venv.branch_stack <- rest;
       env.Venv.st <- st;
       env.Venv.ancestors <- ancestors;
       walk pc
   and walk pc =
-    env.Venv.insn_processed <- env.Venv.insn_processed + 1;
+    env.Venv.insn_processed <- Vstats.count_insn env.Venv.vst;
     if env.Venv.insn_processed > Venv.insn_processed_limit then
       Venv.reject env ~pc Venv.E2BIG
         "BPF program is too large. Processed %d insn"
@@ -328,6 +338,7 @@ let run (env : Venv.t) : unit =
             env.Venv.branch_stack <-
               (pc + 1 + off, taken, env.Venv.ancestors)
               :: env.Venv.branch_stack;
+            Vstats.branch_pushed env.Venv.vst;
             env.Venv.st <- fall;
             walk (pc + 1)
           | Check_jmp.Taken_only st ->

@@ -80,3 +80,53 @@ let union (ts : t list) : t =
   let u = create () in
   List.iter (fun t -> ignore (absorb_named u (named_edges t))) ts;
   u
+
+(* -- Introspection (bvf cov) -------------------------------------------- *)
+
+(* Subsystem attribution: the part of the site name before the first
+   ':' ("check_alu:op" -> "check_alu"); sites without one group under
+   their full name. *)
+let site_prefix (site : string) : string =
+  match String.index_opt site ':' with
+  | Some i -> String.sub site 0 i
+  | None -> site
+
+(* Edges grouped by site prefix, each group carrying (distinct edges,
+   summed hits) plus its per-edge listing.  Groups and edges sorted. *)
+let grouped (t : t) :
+  (string * (int * int * ((string * int) * int) list)) list =
+  let tbl : (string, ((string * int) * int) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (((site, _), _) as e) ->
+       let p = site_prefix site in
+       Hashtbl.replace tbl p
+         (e :: Option.value (Hashtbl.find_opt tbl p) ~default:[]))
+    (named_edges t);
+  Hashtbl.fold
+    (fun prefix edges acc ->
+       let edges = List.sort compare edges in
+       let hits = List.fold_left (fun n (_, h) -> n + h) 0 edges in
+       (prefix, (List.length edges, hits, edges)) :: acc)
+    tbl []
+  |> List.sort compare
+
+(* Edge-set difference through portable names: edges of [b] absent from
+   [a] (gained) and edges of [a] absent from [b] (lost), sorted.  Hit
+   counts are ignored — the diff is over coverage, not intensity. *)
+let diff ~(old_cov : t) ~(new_cov : t) :
+  (string * int) list * (string * int) list =
+  let names c =
+    List.map fst (named_edges c) |> List.fold_left
+      (fun tbl e -> Hashtbl.replace tbl e (); tbl)
+      (Hashtbl.create 256)
+  in
+  let old_names = names old_cov and new_names = names new_cov in
+  let only of_tbl not_in =
+    Hashtbl.fold
+      (fun e () acc -> if Hashtbl.mem not_in e then acc else e :: acc)
+      of_tbl []
+    |> List.sort compare
+  in
+  (only new_names old_names, only old_names new_names)

@@ -41,3 +41,18 @@ val union : t list -> t
 (** A fresh map holding the union of the given maps' edges (hit counts
     summed).  Deterministic: sites are interned in sorted name order,
     regardless of the input maps' interner histories. *)
+
+(** {1 Introspection — the [bvf cov] core} *)
+
+val site_prefix : string -> string
+(** Subsystem attribution: the site name up to the first [':']
+    (["check_alu:op"] -> ["check_alu"]); unchanged when there is none. *)
+
+val grouped : t -> (string * (int * int * ((string * int) * int) list)) list
+(** Edges grouped by {!site_prefix}: [(prefix, (distinct_edges,
+    summed_hits, edge_listing))], groups and listings sorted. *)
+
+val diff : old_cov:t -> new_cov:t -> (string * int) list * (string * int) list
+(** [(gained, lost)]: edges of [new_cov] absent from [old_cov] and vice
+    versa, as sorted portable [(site, variant)] names.  Hit counts are
+    ignored — the diff is over coverage, not intensity. *)

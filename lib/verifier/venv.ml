@@ -84,6 +84,7 @@ type t = {
   explored : (int, explored_entry list) Hashtbl.t;
   mutable ancestors : explored_entry list; (* of the current path *)
   mutable insn_processed : int;
+  vst : Vstats.t; (* veristat-style performance counters *)
   mutable next_id : int;
   vlog : Vlog.t;
   cov : Coverage.t;
@@ -113,6 +114,7 @@ let create ~(kst : Kstate.t) ~(prog_type : Prog.prog_type)
     explored = Hashtbl.create 64;
     ancestors = [];
     insn_processed = 0;
+    vst = Vstats.zero ();
     next_id = 1;
     vlog = Vlog.create log_level;
     cov;

@@ -36,6 +36,7 @@ type loaded = {
   l_lint : Invariants.violation list; (* Kconfig.lint violations (capped) *)
   l_lint_count : int;            (* total, including dropped-by-cap *)
   l_sanitize_s : float;          (* wall time of fixup + sanitation *)
+  l_vstats : Vstats.t;           (* veristat-style performance counters *)
 }
 
 (* kmalloc allocation limit for the Bug#8 kmemdup path (bytes). *)
@@ -136,20 +137,24 @@ let resolve_attach (kst : Kstate.t) (req : request) :
 
 (* The full pipeline, also returning the verifier log whatever the
    verdict — the kernel copies the log buffer back to user space on
-   rejection too, and [bvf explain] needs exactly that. *)
-let load_with_log (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
-    (req : request) : (loaded, Venv.verr) result * string =
+   rejection too, and [bvf explain] needs exactly that — plus the
+   performance counters whenever the analysis ran ([None] only for the
+   early exits that never built a verification environment: structural
+   checks, privilege, fd resolution, injected allocation faults). *)
+let load_with_stats (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
+    (req : request) :
+  (loaded, Venv.verr) result * string * Vstats.t option =
   let n = Array.length req.r_insns in
   if n = 0 then
-    (Error (Venv.verr_make Venv.EINVAL ~pc:0 "empty program"), "")
+    (Error (Venv.verr_make Venv.EINVAL ~pc:0 "empty program"), "", None)
   else if n > Prog.max_insns then
     (Error
        (Venv.verr_make Venv.E2BIG ~pc:0
-          (Printf.sprintf "program too large (%d insns)" n)), "")
+          (Printf.sprintf "program too large (%d insns)" n)), "", None)
   else if uses_reserved req.r_insns then
     (Error
        (Venv.verr_make Venv.EINVAL ~pc:0
-          "program uses reserved register or helper"), "")
+          "program uses reserved register or helper"), "", None)
   else if
     (* failslab: the syscall kvcallocs insn_aux_data and the verifier
        state before any analysis; a failed allocation is a clean -ENOMEM,
@@ -159,26 +164,27 @@ let load_with_log (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
   then
     (Error
        (Venv.verr_make Venv.ENOMEM ~pc:0
-          "kvcalloc of insn_aux_data failed"), "")
+          "kvcalloc of insn_aux_data failed"), "", None)
   else
     match check_privilege kst req with
-    | Error e -> (Error e, "")
+    | Error e -> (Error e, "", None)
     | Ok () ->
     match resolve_map_fds kst req.r_insns with
-    | Error e -> (Error e, "")
+    | Error e -> (Error e, "", None)
     | Ok () ->
     match resolve_attach kst req with
-    | Error e -> (Error e, "")
+    | Error e -> (Error e, "", None)
     | Ok attach ->
       let env =
         Venv.create ~kst ~prog_type:req.r_prog_type ~attach ~cov
           ~log_level req.r_insns
       in
       let log () = Vlog.contents env.Venv.vlog in
+      let vst = env.Venv.vst in
       match Analyze.run env with
-      | exception Venv.Reject verr -> (Error verr, log ())
+      | exception Venv.Reject verr -> (Error verr, log (), Some vst)
       | () ->
-        let t_rewrite = Unix.gettimeofday () in
+        let t_rewrite = Bvf_util.Mclock.now_s () in
         let insns, aux = Fixup.run kst ~insns:req.r_insns ~aux:env.Venv.aux
         in
         let insns, aux =
@@ -186,7 +192,7 @@ let load_with_log (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             Sanitize.run ~insns ~aux
           else (insns, aux)
         in
-        let sanitize_s = Unix.gettimeofday () -. t_rewrite in
+        let sanitize_s = Bvf_util.Mclock.elapsed_s ~since:t_rewrite in
         if
           (* failslab: allocating the rewritten program image *)
           Bvf_kernel.Failslab.should_fail kst.Kstate.failslab
@@ -194,7 +200,8 @@ let load_with_log (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
         then
           (Error
              (Venv.verr_make Venv.ENOMEM ~pc:0
-                "bpf_prog_realloc of rewritten image failed"), log ())
+                "bpf_prog_realloc of rewritten image failed"), log (),
+           Some vst)
         else begin
         (* Bug#8: the syscall kmemdups the rewritten image for
            introspection; large images exceed the kmalloc limit *)
@@ -221,12 +228,19 @@ let load_with_log (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             l_lint = List.rev env.Venv.lint;
             l_lint_count = env.Venv.lint_count;
             l_sanitize_s = sanitize_s;
-          }, log ())
+            l_vstats = vst;
+          }, log (), Some vst)
         end
+
+let load_with_log (kst : Kstate.t) ~(cov : Coverage.t) ?log_level
+    (req : request) : (loaded, Venv.verr) result * string =
+  let verdict, log, _ = load_with_stats kst ~cov ?log_level req in
+  (verdict, log)
 
 let load (kst : Kstate.t) ~(cov : Coverage.t) ?log_level (req : request) :
   (loaded, Venv.verr) result =
-  fst (load_with_log kst ~cov ?log_level req)
+  let verdict, _, _ = load_with_stats kst ~cov ?log_level req in
+  verdict
 
 (* Verification only (no rewrites): used by tests and the acceptance
    experiment. *)

@@ -37,6 +37,8 @@ type loaded = {
   l_sanitize_s : float;
       (** wall time of the fixup + sanitation rewrites, for phase
           profiling (the rest of the load span is verification) *)
+  l_vstats : Vstats.t;
+      (** veristat-style performance counters of the analysis *)
 }
 
 val kmalloc_max : int
@@ -59,6 +61,16 @@ val load_with_log :
     too.  [bvf explain] and rejected-program tracing use this; the log
     is empty when the load failed before analysis (structural checks,
     fd resolution, injected allocation faults). *)
+
+val load_with_stats :
+  Bvf_kernel.Kstate.t -> cov:Coverage.t -> ?log_level:int -> request ->
+  (loaded, Venv.verr) result * string * Vstats.t option
+(** {!load_with_log}, additionally returning the veristat-style
+    performance counters whenever the analysis ran.  [None] means the
+    load failed before a verification environment existed (structural
+    checks, privilege, fd resolution, injected allocation faults) — a
+    rejected program that reached the analysis still reports the effort
+    spent rejecting it, exactly like the kernel's verifier stats. *)
 
 val verify :
   Bvf_kernel.Kstate.t -> cov:Coverage.t -> ?log_level:int -> request ->

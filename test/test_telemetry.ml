@@ -149,6 +149,10 @@ let sample_events : Telemetry.event list =
         pc = 7;
         msg = "invalid access: \"quoted\", back\\slash,\nnewline\ttab";
       };
+    Vstats
+      { iter = 2; insn_processed = 48; total_states = 6; peak_states = 3;
+        max_states_per_insn = 2; prune_hits = 1; prune_misses = 5;
+        loops_detected = 0; branch_hwm = 4 };
     Finding
       { iter = 3; fingerprint = "oracle:xyz"; bug = None;
         correctness = true };
@@ -187,7 +191,18 @@ let test_summarize_counts () =
   Alcotest.(check int) "no unknown rejections" 0
     (Telemetry.unknown_rejections s);
   Alcotest.(check bool) "profile captured" true
-    (s.Telemetry.su_profile <> None)
+    (s.Telemetry.su_profile <> None);
+  match s.Telemetry.su_vstats with
+  | None -> Alcotest.fail "vstats summary missing"
+  | Some v ->
+    Alcotest.(check int) "vstats analyses" 1 v.Telemetry.vsu_count;
+    Alcotest.(check int) "vstats insn total" 48
+      v.Telemetry.vsu_insn_processed.Telemetry.d_total;
+    Alcotest.(check int) "single-sample p50 = p95"
+      v.Telemetry.vsu_insn_processed.Telemetry.d_p50
+      v.Telemetry.vsu_insn_processed.Telemetry.d_p95;
+    Alcotest.(check int) "vstats peak total" 3
+      v.Telemetry.vsu_peak_states.Telemetry.d_total
 
 (* -- trace vs campaign stats ----------------------------------------------- *)
 
