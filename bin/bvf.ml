@@ -34,6 +34,7 @@ module Oracle = Bvf_core.Oracle
 module Selftests = Bvf_core.Selftests
 module Rng = Bvf_core.Rng
 module Gen = Bvf_core.Gen
+module Supervisor = Bvf_core.Supervisor
 module E = Bvf_experiments.Experiments
 
 open Cmdliner
@@ -130,6 +131,46 @@ let jobs_t =
                (shard i fuzzes with seed+i; coverage, findings and the \
                corpus are merged).  $(docv)=1 is the sequential path.")
 
+let workers_t =
+  Arg.(value & opt int 0
+       & info [ "workers"; "w" ] ~docv:"N"
+         ~doc:"Supervise the campaign across $(docv) forked worker \
+               processes (same sharding as --jobs, but crash-isolated: \
+               a worker that dies or stops heartbeating is restarted \
+               from its last checkpoint with the implicated iteration \
+               quarantined).  Protocol files live under --state-dir; \
+               rerunning with the same directory resumes.")
+
+let state_dir_t =
+  Arg.(value & opt string "bvf-state"
+       & info [ "state-dir" ] ~docv:"DIR"
+         ~doc:"Directory for --workers protocol files: per-worker \
+               checkpoints, heartbeats, crash artifacts and the \
+               quarantine list.")
+
+let deadline_t =
+  Arg.(value & opt float 30.0
+       & info [ "deadline" ] ~docv:"SECS"
+         ~doc:"Watchdog deadline for --workers: a worker whose \
+               heartbeat is older than $(docv) seconds is killed and \
+               restarted.")
+
+let max_restarts_t =
+  Arg.(value & opt int 5
+       & info [ "max-restarts" ] ~docv:"N"
+         ~doc:"Retire a worker (shrinking the pool) after $(docv) \
+               restarts; its last checkpoint still joins the merge and \
+               the abandoned iterations are reported.")
+
+let quarantine_t =
+  Arg.(value & opt (some string) None
+       & info [ "quarantine" ] ~docv:"FILE"
+         ~doc:"Preload quarantined global iterations (one per line, as \
+               written to the state directory's quarantine.list): the \
+               listed iterations are skipped deterministically, which \
+               makes a fault-free rerun digest-comparable to a \
+               disturbed one.")
+
 let trace_t =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"PATH"
@@ -174,6 +215,12 @@ let append_profile (path : string) (stats : Campaign.stats)
   output_char oc '\n';
   close_out oc
 
+(* exit 4 marks a damaged checkpoint (bad magic, wrong schema tag,
+   digest mismatch, truncation) — distinct from exit 3, an environment
+   failure such as an unreadable path *)
+let checkpoint_exit_code (e : Checkpoint.error) : int =
+  match e with Checkpoint.Io _ -> 3 | _ -> 4
+
 let print_findings (stats : Campaign.stats) : unit =
   let findings =
     Hashtbl.fold (fun _ f acc -> f :: acc) stats.Campaign.st_findings []
@@ -189,7 +236,8 @@ let print_findings (stats : Campaign.stats) : unit =
 let fuzz_cmd =
   let run version seed iterations tool no_sanitize fixed unprivileged
       witness failslab_rate failslab_seed checkpoint_path checkpoint_every
-      resume_path jobs trace log_level progress_every =
+      resume_path jobs workers state_dir deadline max_restarts
+      quarantine_file trace log_level progress_every =
     let config =
       if fixed then Kconfig.fixed version else Kconfig.default version
     in
@@ -216,17 +264,93 @@ let fuzz_cmd =
       Printf.eprintf "bvf fuzz: --failslab rate must be in [0,1]\n";
       exit 2
     end;
+    if workers < 0 then begin
+      Printf.eprintf "bvf fuzz: --workers must be >= 1\n";
+      exit 2
+    end;
+    if workers > 0 && jobs > 1 then begin
+      Printf.eprintf
+        "bvf fuzz: --workers and --jobs are exclusive shardings (forked \
+         processes vs in-process domains)\n";
+      exit 2
+    end;
+    if workers > 0 && (checkpoint_path <> None || resume_path <> None)
+    then begin
+      Printf.eprintf
+        "bvf fuzz: --workers checkpoints per worker under --state-dir; \
+         --checkpoint/--resume do not apply (rerun with the same \
+         --state-dir to resume)\n";
+      exit 2
+    end;
+    (* SIGINT/SIGTERM finish the in-flight iteration, write a final
+       checkpoint where one is configured, flush telemetry and exit
+       with the conventional 128+signal code *)
+    let stop_sig = ref 0 in
+    let arm_signals () =
+      Sys.set_signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> stop_sig := 130));
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> stop_sig := 143))
+    in
+    let stopped () = !stop_sig <> 0 in
     Printf.printf "fuzzing %s (%d injected bugs, sanitize=%b) with %s%s...\n"
       (Version.to_string version)
       (List.length config.Kconfig.bugs)
       config.Kconfig.sanitize strategy.Campaign.s_name
-      (if jobs > 1 then Printf.sprintf " across %d domains" jobs else "");
+      (if workers > 0 then
+         Printf.sprintf " across %d supervised workers" workers
+       else if jobs > 1 then Printf.sprintf " across %d domains" jobs
+       else "");
     let progress =
       Option.map
         (fun every_s -> Progress.create ~every_s ~jobs ())
         progress_every
     in
-    if jobs > 1 then begin
+    if workers > 0 then begin
+      arm_signals ();
+      let quarantine =
+        match quarantine_file with
+        | None -> []
+        | Some f ->
+          if not (Sys.file_exists f) then begin
+            Printf.eprintf "bvf fuzz: --quarantine %s: no such file\n" f;
+            exit 2
+          end;
+          Supervisor.quarantine_of_file f
+      in
+      let t0 = Mclock.now_s () in
+      let outcome =
+        try
+          Supervisor.run ~log_level ?trace
+            ?failslab_rate:
+              (if failslab_rate > 0.0 then Some failslab_rate else None)
+            ?failslab_seed ~checkpoint_every ~deadline_s:deadline
+            ~max_restarts ~quarantine ~stop:stopped ~workers ~seed
+            ~iterations ~dir:state_dir strategy config
+        with Campaign.Environment msg ->
+          Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
+          exit 3
+      in
+      match outcome with
+      | Supervisor.Interrupted report ->
+        Printf.printf
+          "interrupted: workers checkpointed under %s; rerun with the \
+           same --state-dir to resume\n"
+          state_dir;
+        Format.printf "%a" Supervisor.pp_report report;
+        exit (if !stop_sig <> 0 then !stop_sig else 130)
+      | Supervisor.Completed (result, report) ->
+        (match trace with
+         | Some path ->
+           append_profile path result.Parallel.pr_stats
+             ~wall_s:(Mclock.elapsed_s ~since:t0)
+         | None -> ());
+        Format.printf "%a" Parallel.pp_summary result;
+        Format.printf "%a" Supervisor.pp_report report;
+        Printf.printf "merged digest: %s\n" (Parallel.digest result);
+        print_findings result.Parallel.pr_stats
+    end
+    else if jobs > 1 then begin
       let t0 = Mclock.now_s () in
       let result =
         try
@@ -251,6 +375,7 @@ let fuzz_cmd =
       print_findings result.Parallel.pr_stats
     end
     else begin
+      arm_signals ();
       let resume_from =
         match resume_path with
         | None -> None
@@ -263,7 +388,7 @@ let fuzz_cmd =
            | Error e ->
              Printf.eprintf "bvf fuzz: cannot resume from %s: %s\n" path
                (Checkpoint.error_to_string e);
-             exit 3)
+             exit (checkpoint_exit_code e))
       in
       let failslab =
         (* on resume the restored plan (with its stream position) wins *)
@@ -289,6 +414,7 @@ let fuzz_cmd =
             ?checkpoint_path
             ?failslab
             ?resume_from
+            ~stop:stopped
             ?on_step:
               (Option.map
                  (fun p c -> Progress.update p ~shard:0 c)
@@ -310,15 +436,27 @@ let fuzz_cmd =
        | Some plan when Failslab.enabled plan ->
          Format.printf "%a" Failslab.pp_summary plan
        | Some _ | None -> ());
-      print_findings stats
+      print_findings stats;
+      if !stop_sig <> 0 then begin
+        (match checkpoint_path with
+         | Some path ->
+           Printf.printf
+             "interrupted at iteration %d: checkpoint saved to %s\n"
+             stats.Campaign.st_generated path
+         | None ->
+           Printf.printf "interrupted at iteration %d\n"
+             stats.Campaign.st_generated);
+        exit !stop_sig
+      end
     end
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign.")
     Term.(const run $ version_t $ seed_t $ iterations_t $ tool_t
           $ no_sanitize_t $ fixed_t $ unprivileged_t $ witness_t
           $ failslab_t $ failslab_seed_t $ checkpoint_t
-          $ checkpoint_every_t $ resume_t $ jobs_t $ trace_t
-          $ log_level_t $ progress_t)
+          $ checkpoint_every_t $ resume_t $ jobs_t $ workers_t
+          $ state_dir_t $ deadline_t $ max_restarts_t $ quarantine_t
+          $ trace_t $ log_level_t $ progress_t)
 
 (* -- explain ---------------------------------------------------------------- *)
 
@@ -761,6 +899,72 @@ let cov_cmd =
                    ~doc:"Checkpoint file(s) written by $(b,bvf fuzz \
                          --checkpoint)."))
 
+(* -- merge -------------------------------------------------------------------- *)
+
+let merge_cmd =
+  let run out files =
+    if files = [] then begin
+      Printf.eprintf
+        "bvf merge: needs at least one checkpoint file to merge\n";
+      exit 2
+    end;
+    let load path =
+      match Campaign.load_checkpoint ~path with
+      | Ok s -> s
+      | Error (Checkpoint.Tag_mismatch _) -> (
+        (* maybe a per-worker checkpoint salvaged from a supervised
+           run: renumber its local iterations to global and merge *)
+        match Supervisor.load_worker ~path with
+        | Ok w -> Supervisor.globalize w
+        | Error e ->
+          Printf.eprintf "bvf merge: cannot read %s: %s\n" path
+            (Checkpoint.error_to_string e);
+          exit (checkpoint_exit_code e))
+      | Error e ->
+        Printf.eprintf "bvf merge: cannot read %s: %s\n" path
+          (Checkpoint.error_to_string e);
+        exit (checkpoint_exit_code e)
+    in
+    let snapshots = List.map load files in
+    let merged =
+      try Parallel.merge_snapshots snapshots with
+      | Campaign.Environment msg ->
+        Printf.eprintf "bvf merge: %s\n" msg;
+        exit 2
+    in
+    (match Campaign.save_snapshot merged ~path:out with
+     | Ok () -> ()
+     | Error e ->
+       Printf.eprintf "bvf merge: cannot write %s: %s\n" out
+         (Checkpoint.error_to_string e);
+       exit 3);
+    Printf.printf
+      "merged %d checkpoints into %s: %d iterations, %d edges, %d \
+       findings\n"
+      (List.length files) out merged.Campaign.sn_completed
+      merged.Campaign.sn_stats.Campaign.st_edges
+      (Hashtbl.length merged.Campaign.sn_stats.Campaign.st_findings);
+    Printf.printf "merged digest: %s\n"
+      (Campaign.digest merged.Campaign.sn_stats)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge independent campaign checkpoints (from --checkpoint, \
+             from different machines, or per-worker worker-N.ckpt files \
+             salvaged from a --workers state directory) into one \
+             reportable checkpoint: coverage unioned, findings \
+             deduplicated at their earliest iteration, counters summed. \
+             The output is associative and commutative on everything \
+             the digest covers; it can be merged again or inspected \
+             with $(b,bvf cov), but not resumed.")
+    Term.(const run
+          $ Arg.(required & opt (some string) None
+                 & info [ "o"; "out" ] ~docv:"PATH"
+                   ~doc:"Write the merged checkpoint to $(docv).")
+          $ Arg.(value & pos_all string []
+                 & info [] ~docv:"CHECKPOINT"
+                   ~doc:"Checkpoint files to merge."))
+
 (* -- experiments -------------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -793,5 +997,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
                     [ fuzz_cmd; explain_cmd; stats_cmd; veristat_cmd;
-                      cov_cmd; repro_cmd; selftests_cmd; lint_cmd;
-                      experiments_cmd ]))
+                      cov_cmd; merge_cmd; repro_cmd; selftests_cmd;
+                      lint_cmd; experiments_cmd ]))

@@ -143,11 +143,12 @@ let expected_rejections (mode : mode) : Bvf_verifier.Reject_reason.t list =
         Bad_cfg; Bad_insn; Uninit_access; Type_mismatch; Bad_ctx_access;
         Oob_access; Bad_ptr_arith; Ptr_leak; Bad_helper_arg;
         Helper_unavailable; Bad_return_value; Unbounded_loop; Bad_map_op;
-        Insn_limit; Prog_size;
+        Insn_limit; Budget_exhausted; Prog_size;
       ]
   | Alu_jmp ->
     Bvf_verifier.Reject_reason.
-      [ Bad_cfg; Unbounded_loop; Insn_limit; Bad_return_value ]
+      [ Bad_cfg; Unbounded_loop; Insn_limit; Budget_exhausted;
+        Bad_return_value ]
 
 (* The paper's coverage comparison runs Buzzer's effective mode. *)
 let strategy ?(mode = Alu_jmp) () : Bvf_core.Campaign.strategy =

@@ -274,7 +274,7 @@ let expected_rejections : Bvf_verifier.Reject_reason.t list =
       Bad_ptr_arith; Ptr_leak; Null_deref; Bad_helper_arg;
       Helper_unavailable; Bad_return_value; Bad_insn; Bad_cfg;
       Unbounded_loop; Bad_map_op; Bad_attach; Priv;
-      Insn_limit; Lock_violation; Ref_leak; Prog_size;
+      Insn_limit; Budget_exhausted; Lock_violation; Ref_leak; Prog_size;
     ]
 
 let strategy : Bvf_core.Campaign.strategy =

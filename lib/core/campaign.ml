@@ -70,6 +70,8 @@ type stats = {
   mutable st_env_errors : int;  (* transient errors that survived retry *)
   mutable st_retries : int;     (* transient errors retried away *)
   mutable st_quarantined : int; (* corpus entries storm-quarantined *)
+  mutable st_skipped : int;     (* iterations skipped because a prior
+                                   run's harness crash quarantined them *)
   mutable st_lint : int;        (* invariant-lint violations observed
                                    (Kconfig.lint); never findings *)
   (* phase timers: wall-clock seconds per pipeline stage.  Real times,
@@ -121,10 +123,10 @@ let fingerprints (s : stats) : string list =
 let digest ?(exclude_finding = fun (_ : string) -> false) (s : stats) :
   string =
   let b = Buffer.create 512 in
-  Printf.bprintf b "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d\n" s.st_tool
+  Printf.bprintf b "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n" s.st_tool
     (Version.to_string s.st_version)
     s.st_generated s.st_accepted s.st_rejected s.st_edges s.st_reboots
-    s.st_env_errors s.st_retries s.st_quarantined s.st_lint;
+    s.st_env_errors s.st_retries s.st_quarantined s.st_skipped s.st_lint;
   Hashtbl.fold (fun e n acc -> (Venv.errno_to_string e, n) :: acc)
     s.st_errno []
   |> List.sort compare
@@ -270,6 +272,7 @@ let create ?(sample_every = 64) ?(telemetry = Telemetry.null)
         st_env_errors = 0;
         st_retries = 0;
         st_quarantined = 0;
+        st_skipped = 0;
         st_lint = 0;
         st_gen_s = 0.;
         st_verify_s = 0.;
@@ -410,6 +413,31 @@ let step (c : t) : unit =
       :: stats.st_curve;
   stats.st_edges <- Coverage.edge_count c.cov
 
+(* Skip one iteration that a previous run's harness crash quarantined:
+   consume exactly the generation-phase RNG draws [step] would (corpus
+   pick + program generation) so the stream stays aligned for the
+   iterations that follow, but never load or run the program.  A
+   supervised restart skipping iteration [i] and a fault-free campaign
+   told up front to skip [i] perform the same state transition here,
+   which is what makes the two runs digest-comparable. *)
+let step_skip (c : t) : unit =
+  let stats = c.stats in
+  let iteration = stats.st_generated in
+  let seed_entry =
+    if c.strategy.s_feedback then Corpus.pick_entry c.corpus c.rng
+    else None
+  in
+  let seed_req = Option.map (fun e -> e.Corpus.request) seed_entry in
+  ignore (c.strategy.s_generate c.rng c.gen_config seed_req : Verifier.request);
+  stats.st_generated <- stats.st_generated + 1;
+  stats.st_skipped <- stats.st_skipped + 1;
+  Telemetry.emit c.telemetry (Telemetry.Quarantined { iter = iteration });
+  if iteration mod c.sample_every = 0 then
+    stats.st_curve <-
+      { sa_iteration = iteration; sa_edges = Coverage.edge_count c.cov }
+      :: stats.st_curve;
+  stats.st_edges <- Coverage.edge_count c.cov
+
 (* -- Checkpointing ----------------------------------------------------- *)
 
 (* Everything needed to continue the campaign from disk.  The simulated
@@ -426,6 +454,8 @@ type snapshot = {
   sn_witness : bool;
   sn_lint : bool;
   sn_completed : int;      (* iterations finished when taken *)
+  sn_merged : bool;        (* built by [Parallel.merge_snapshots], not a
+                              live campaign: reportable, not resumable *)
   sn_rng : int64;
   sn_failslab : Bvf_kernel.Failslab.t;
   sn_corpus : Corpus.t;
@@ -433,8 +463,8 @@ type snapshot = {
   sn_stats : stats;
 }
 
-(* /4: stats gained the veristat-counter aggregate (st_vstats). *)
-let checkpoint_tag = "bvf-campaign/4"
+(* /5: stats gained st_skipped, snapshots gained sn_merged. *)
+let checkpoint_tag = "bvf-campaign/5"
 
 let snapshot (c : t) : snapshot =
   {
@@ -446,6 +476,7 @@ let snapshot (c : t) : snapshot =
     sn_witness = c.config.Kconfig.witness;
     sn_lint = c.config.Kconfig.lint;
     sn_completed = c.stats.st_generated;
+    sn_merged = false;
     sn_rng = Rng.state c.rng;
     sn_failslab = c.failslab;
     sn_corpus = c.corpus;
@@ -456,6 +487,12 @@ let snapshot (c : t) : snapshot =
 let save_checkpoint (c : t) ~(path : string) :
   (unit, Checkpoint.error) result =
   Checkpoint.save ~path ~tag:checkpoint_tag (snapshot c)
+
+(* Persist a snapshot value directly — the [bvf merge] output path,
+   where there is no live campaign behind the snapshot. *)
+let save_snapshot (s : snapshot) ~(path : string) :
+  (unit, Checkpoint.error) result =
+  Checkpoint.save ~path ~tag:checkpoint_tag s
 
 let load_checkpoint ~(path : string) :
   (snapshot, Checkpoint.error) result =
@@ -486,6 +523,11 @@ let resume ?(sample_every = 64) ?(telemetry = Telemetry.null)
      || s.sn_witness <> config.Kconfig.witness
      || s.sn_lint <> config.Kconfig.lint then
     raise (Environment "checkpoint was taken under a different config");
+  if s.sn_merged then
+    raise
+      (Environment
+         "checkpoint is a merged artifact (bvf merge): it has no RNG \
+          stream to continue and cannot be resumed");
   (* Deep-copy the snapshot before mutating anything in it.  A snapshot
      loaded from disk is already private, but an in-memory one shares
      its hashtables, corpus and coverage with whichever campaign took
@@ -519,8 +561,9 @@ let resume ?(sample_every = 64) ?(telemetry = Telemetry.null)
 (* -- Driving ----------------------------------------------------------- *)
 
 let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
-    ?checkpoint_path ?failslab ?resume_from ?on_step ~(seed : int)
-    ~(iterations : int) (strategy : strategy) (config : Kconfig.t) : t =
+    ?checkpoint_path ?failslab ?resume_from ?skip ?stop ?on_step
+    ~(seed : int) ~(iterations : int) (strategy : strategy)
+    (config : Kconfig.t) : t =
   let c =
     match resume_from with
     | Some s -> resume ~sample_every ?telemetry ?log_level strategy config s
@@ -537,28 +580,47 @@ let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
     | Some n when n > 0 -> c.stats.st_generated mod n = 0
     | Some _ | None -> false
   in
-  for _ = 1 to iterations do
-    step c;
-    (* observer hook ([--progress]): runs outside the deterministic
-       core, after all of the iteration's telemetry was emitted *)
-    (match on_step with Some f -> f c | None -> ());
-    if at_barrier () then begin
-      (match checkpoint_path with
-       | Some path -> begin
-           match save_checkpoint c ~path with
-           | Ok () ->
-             Telemetry.emit c.telemetry
-               (Telemetry.Checkpoint { iter = c.stats.st_generated })
-           | Error e ->
-             raise
-               (Environment
-                  ("checkpoint write failed: "
-                   ^ Checkpoint.error_to_string e))
-         end
-       | None -> ());
-      reboot c
-    end
-  done;
+  let save_now () =
+    match checkpoint_path with
+    | Some path -> begin
+        match save_checkpoint c ~path with
+        | Ok () ->
+          Telemetry.emit c.telemetry
+            (Telemetry.Checkpoint { iter = c.stats.st_generated })
+        | Error e ->
+          raise
+            (Environment
+               ("checkpoint write failed: "
+                ^ Checkpoint.error_to_string e))
+      end
+    | None -> ()
+  in
+  let stopped () = match stop with Some f -> f () | None -> false in
+  let exception Stop in
+  (try
+     for _ = 1 to iterations do
+       (match skip with
+        | Some f when f c.stats.st_generated -> step_skip c
+        | Some _ | None -> step c);
+       (* observer hook ([--progress]): runs outside the deterministic
+          core, after all of the iteration's telemetry was emitted *)
+       (match on_step with Some f -> f c | None -> ());
+       (* an external stop (SIGINT/SIGTERM) acts as an extra barrier:
+          save, then reboot, exactly the sequence a scheduled barrier
+          performs — checked first so a stop landing ON a barrier runs
+          the sequence once, and resume replays the same continuation
+          either way *)
+       if stopped () then begin
+         save_now ();
+         reboot c;
+         raise Stop
+       end
+       else if at_barrier () then begin
+         save_now ();
+         reboot c
+       end
+     done
+   with Stop -> ());
   (* closing sample: when the final iteration already landed on a
      sample_every boundary (or the campaign is finalized twice, e.g.
      resumed for zero further iterations) the curve would carry the same
@@ -576,12 +638,12 @@ let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
   c
 
 let run ?sample_every ?telemetry ?log_level ?checkpoint_every
-    ?checkpoint_path ?failslab ?resume_from ?on_step ~(seed : int)
-    ~(iterations : int) (strategy : strategy) (config : Kconfig.t) :
-  stats =
+    ?checkpoint_path ?failslab ?resume_from ?skip ?stop ?on_step
+    ~(seed : int) ~(iterations : int) (strategy : strategy)
+    (config : Kconfig.t) : stats =
   (run_t ?sample_every ?telemetry ?log_level ?checkpoint_every
-     ?checkpoint_path ?failslab ?resume_from ?on_step ~seed ~iterations
-     strategy config)
+     ?checkpoint_path ?failslab ?resume_from ?skip ?stop ?on_step ~seed
+     ~iterations strategy config)
     .stats
 
 let pp_summary fmt (s : stats) : unit =
@@ -600,6 +662,10 @@ let pp_summary fmt (s : stats) : unit =
     Format.fprintf fmt
       "  environment: %d transient errors (%d retried away), %d corpus entries quarantined@."
       s.st_env_errors s.st_retries s.st_quarantined;
+  if s.st_skipped > 0 then
+    Format.fprintf fmt
+      "  supervision: %d iterations skipped as harness-crash quarantine@."
+      s.st_skipped;
   if s.st_lint > 0 then
     Format.fprintf fmt "  lint: %d invariant violations@." s.st_lint;
   Vstats.pp_agg fmt s.st_vstats

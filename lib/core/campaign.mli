@@ -56,6 +56,10 @@ type stats = {
       (** transient environment errors retried away *)
   mutable st_quarantined : int;
       (** corpus entries quarantined by the reboot-storm breaker *)
+  mutable st_skipped : int;
+      (** iterations skipped ({!step_skip}) because a previous run's
+          harness crash quarantined them; disturbed work accounted for,
+          never silently dropped *)
   mutable st_lint : int;
       (** invariant-lint violations observed on accepted programs
           (only when the config enables {!Bvf_kernel.Kconfig.t.lint});
@@ -143,6 +147,15 @@ val step : t -> unit
     reboot before the final attempt); fatal reports reboot the kernel
     and feed the reboot-storm breaker. *)
 
+val step_skip : t -> unit
+(** Skip one harness-crash-quarantined iteration: consume exactly the
+    generation-phase RNG draws {!step} would (corpus pick + generate),
+    bump [st_generated]/[st_skipped] and emit a
+    {!Telemetry.event.Quarantined} event, but never load or run the
+    program.  A supervised restart skipping iteration [i] and a
+    fault-free campaign told up front to skip [i] perform the same
+    state transition, which keeps the two runs digest-comparable. *)
+
 (** {1 Checkpointing}
 
     Everything needed to continue a campaign from disk.  The simulated
@@ -160,6 +173,10 @@ type snapshot = {
   sn_witness : bool;
   sn_lint : bool;
   sn_completed : int; (** iterations finished when taken *)
+  sn_merged : bool;
+      (** built by [Parallel.merge_snapshots] ([bvf merge]), not taken
+          from a live campaign: reportable and re-mergeable, but
+          {!resume} refuses it (there is no RNG stream to continue) *)
   sn_rng : int64;
   sn_failslab : Bvf_kernel.Failslab.t;
   sn_corpus : Corpus.t;
@@ -171,6 +188,10 @@ val snapshot : t -> snapshot
 
 val save_checkpoint : t -> path:string -> (unit, Checkpoint.error) result
 
+val save_snapshot : snapshot -> path:string -> (unit, Checkpoint.error) result
+(** Persist a snapshot value that has no live campaign behind it — the
+    [bvf merge] output path. *)
+
 val load_checkpoint : path:string -> (snapshot, Checkpoint.error) result
 
 val resume :
@@ -181,22 +202,25 @@ val resume :
     times yields independent campaigns (identical to resuming a
     from-disk checkpoint several times).
     @raise Environment when the snapshot was taken by a different tool,
-    kernel version, or config. *)
+    kernel version, or config — or is a merged artifact
+    ([sn_merged]). *)
 
 val run_t :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
   ?checkpoint_every:int -> ?checkpoint_path:string ->
   ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot ->
+  ?skip:(int -> bool) -> ?stop:(unit -> bool) ->
   ?on_step:(t -> unit) -> seed:int ->
   iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> t
 (** Like {!run} but returns the whole campaign, giving callers (the
-    parallel shard runner, tests) access to the final coverage map and
-    corpus alongside the stats. *)
+    parallel shard runner, the supervisor's workers, tests) access to
+    the final coverage map and corpus alongside the stats. *)
 
 val run :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
   ?checkpoint_every:int -> ?checkpoint_path:string ->
   ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot ->
+  ?skip:(int -> bool) -> ?stop:(unit -> bool) ->
   ?on_step:(t -> unit) -> seed:int ->
   iterations:int -> strategy -> Bvf_kernel.Kconfig.t -> stats
 (** Drive [iterations] steps.  Every [checkpoint_every] completed
@@ -205,9 +229,15 @@ val run :
     reboots the kernel — the barrier that makes resume deterministic.
     The closing coverage sample is deduplicated by iteration, so
     finalizing a campaign twice (or on a sample boundary) never records
-    the same iteration twice.  [on_step] (the [--progress] observer) is
-    called after each completed iteration, outside the deterministic
-    core: it must not mutate the campaign.
+    the same iteration twice.  [skip] selects iterations to pass to
+    {!step_skip} instead of {!step} (the harness-crash quarantine).
+    [stop] is polled after every completed iteration; when it returns
+    true the campaign writes a final checkpoint, reboots (the exact
+    barrier sequence, run once even when the stop lands on a scheduled
+    barrier) and returns early — the SIGINT/SIGTERM path.  [on_step]
+    (the [--progress] observer) is called after each completed
+    iteration, outside the deterministic core: it must not mutate the
+    campaign.
     @raise Environment on checkpoint write failure. *)
 
 val pp_summary : Format.formatter -> stats -> unit

@@ -107,9 +107,12 @@ let load ~(path : string) ~(tag : string) : ('a, error) result =
              if Digest.to_hex (Digest.string payload) <> digest then
                Error (Corrupt "payload digest mismatch")
              else begin
+               (* a digest collision or a file written by a different
+                  build can still hand Marshal undecodable bytes; any
+                  exception here is a corrupt file, never a crash *)
                match Marshal.from_string payload 0 with
                | v -> Ok v
-               | exception Failure msg -> Error (Corrupt msg)
+               | exception e -> Error (Corrupt (Printexc.to_string e))
              end
          end
        | _ -> Error Bad_magic)

@@ -191,6 +191,7 @@ let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
       st_env_errors = sum (fun s -> s.Campaign.st_env_errors);
       st_retries = sum (fun s -> s.Campaign.st_retries);
       st_quarantined = sum (fun s -> s.Campaign.st_quarantined);
+      st_skipped = sum (fun s -> s.Campaign.st_skipped);
       st_lint = sum (fun s -> s.Campaign.st_lint);
       (* CPU seconds, so the phase totals sum across domains *)
       st_gen_s = sumf (fun s -> s.Campaign.st_gen_s);
@@ -219,6 +220,86 @@ let merge_corpora ~(jobs : int) ?(max_size = 256) (shards : shard list) :
          sh.sh_corpus)
     shards
   |> Corpus.of_entries ~max_size
+
+(* Offline checkpoint merge (bvf merge): fold independent campaign
+   snapshots into one reportable snapshot through the same machinery the
+   in-process join uses.  Every input keeps its own (already global)
+   iteration numbers, so the shards are built with [sh_index = 0] and
+   merged with [jobs = 1] — [global_iteration] degenerates to the
+   identity and nothing is renumbered.  The result is associative and
+   commutative on everything {!Campaign.digest} covers (counts, errno
+   and reason tables, findings-at-earliest-iteration, curve, vstats,
+   union coverage); only the corpus, which is capped and re-scored, and
+   the wall-clock phase timers fall outside that guarantee — both are
+   deliberately outside the digest too.  The merged snapshot carries no
+   RNG stream ([sn_merged]): it can be merged again, reported, seeded
+   from — but never resumed. *)
+let merge_snapshots (snapshots : Campaign.snapshot list) :
+  Campaign.snapshot =
+  match snapshots with
+  | [] -> invalid_arg "Parallel.merge_snapshots: no snapshots"
+  | first :: rest ->
+    List.iter
+      (fun (s : Campaign.snapshot) ->
+         if s.Campaign.sn_tool <> first.Campaign.sn_tool then
+           raise
+             (Campaign.Environment
+                (Printf.sprintf
+                   "cannot merge checkpoints of different tools (%s vs %s)"
+                   first.Campaign.sn_tool s.Campaign.sn_tool));
+         if s.Campaign.sn_kernel <> first.Campaign.sn_kernel then
+           raise
+             (Campaign.Environment
+                (Printf.sprintf
+                   "cannot merge checkpoints of different kernels (%s vs %s)"
+                   (Bvf_ebpf.Version.to_string first.Campaign.sn_kernel)
+                   (Bvf_ebpf.Version.to_string s.Campaign.sn_kernel)));
+         if s.Campaign.sn_sanitize <> first.Campaign.sn_sanitize
+            || s.Campaign.sn_unprivileged
+               <> first.Campaign.sn_unprivileged
+            || s.Campaign.sn_witness <> first.Campaign.sn_witness
+            || s.Campaign.sn_lint <> first.Campaign.sn_lint then
+           raise
+             (Campaign.Environment
+                "cannot merge checkpoints taken under different configs"))
+      rest;
+    let shards =
+      List.map
+        (fun (s : Campaign.snapshot) ->
+           {
+             sh_index = 0;
+             sh_seed = s.Campaign.sn_seed;
+             sh_iterations = s.Campaign.sn_completed;
+             sh_stats = s.Campaign.sn_stats;
+             sh_corpus = Corpus.entries s.Campaign.sn_corpus;
+             sh_edges = Coverage.named_edges s.Campaign.sn_cov;
+           })
+        snapshots
+    in
+    let cov = Coverage.create () in
+    List.iter
+      (fun sh -> ignore (Coverage.absorb_named cov sh.sh_edges))
+      shards;
+    {
+      Campaign.sn_tool = first.Campaign.sn_tool;
+      sn_kernel = first.Campaign.sn_kernel;
+      sn_seed = first.Campaign.sn_seed;
+      sn_sanitize = first.Campaign.sn_sanitize;
+      sn_unprivileged = first.Campaign.sn_unprivileged;
+      sn_witness = first.Campaign.sn_witness;
+      sn_lint = first.Campaign.sn_lint;
+      sn_completed =
+        List.fold_left
+          (fun acc (s : Campaign.snapshot) ->
+             acc + s.Campaign.sn_completed)
+          0 snapshots;
+      sn_merged = true;
+      sn_rng = 0L;
+      sn_failslab = Bvf_kernel.Failslab.off ();
+      sn_corpus = merge_corpora ~jobs:1 shards;
+      sn_cov = cov;
+      sn_stats = merge_stats ~jobs:1 cov shards;
+    }
 
 (* -- Driving ----------------------------------------------------------- *)
 

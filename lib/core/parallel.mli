@@ -55,6 +55,27 @@ val merge_stats :
 
 val merge_corpora : jobs:int -> ?max_size:int -> shard list -> Corpus.t
 
+val shard_trace_path : string -> int -> string
+(** [shard_trace_path trace i] is [trace ^ ".shard" ^ i] — the
+    per-shard telemetry file both this runner and the {!Supervisor}
+    workers write, so their merged traces come out byte-identical. *)
+
+val merge_snapshots :
+  Campaign.snapshot list -> Campaign.snapshot
+(** Offline checkpoint merge (the [bvf merge] core): fold independent
+    campaign snapshots — per-worker checkpoints, or checkpoints fuzzed
+    on different machines — into one reportable snapshot.  Inputs keep
+    their own (already global) iteration numbers; nothing is
+    renumbered.  Associative and commutative on everything
+    {!Campaign.digest} covers (the capped, re-scored corpus and the
+    summed wall-clock phase timers are the only order-sensitive fields,
+    and both are outside the digest).  The result has [sn_merged] set:
+    it can be merged again or reported, but {!Campaign.resume} refuses
+    it.
+    @raise Invalid_argument on an empty list.
+    @raise Campaign.Environment when inputs disagree on tool, kernel
+    version, or config flags. *)
+
 val run :
   ?sample_every:int -> ?trace:string -> ?log_level:int ->
   ?failslab_rate:float -> ?failslab_seed:int ->

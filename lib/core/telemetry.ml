@@ -47,6 +47,7 @@ type event =
       branch_hwm : int;
     }
   | Checkpoint of { iter : int }
+  | Quarantined of { iter : int }
   | Shard_merge of { shards : int; events : int }
   | Profile of {
       programs : int;
@@ -59,7 +60,8 @@ type event =
 
 let iter_of = function
   | Generated { iter; _ } | Accepted { iter; _ } | Rejected { iter; _ }
-  | Finding { iter; _ } | Vstats { iter; _ } | Checkpoint { iter } ->
+  | Finding { iter; _ } | Vstats { iter; _ } | Checkpoint { iter }
+  | Quarantined { iter } ->
     Some iter
   | Shard_merge _ | Profile _ -> None
 
@@ -115,6 +117,7 @@ let to_json (ev : event) : string =
      int "prune_hits" prune_hits; int "prune_misses" prune_misses;
      int "loops_detected" loops_detected; int "branch_hwm" branch_hwm
    | Checkpoint { iter } -> tag "checkpoint"; int "iter" iter
+   | Quarantined { iter } -> tag "quarantined"; int "iter" iter
    | Shard_merge { shards; events } ->
      tag "shard_merge"; int "shards" shards; int "events" events
    | Profile { programs; gen_s; verify_s; sanitize_s; exec_s; wall_s } ->
@@ -283,6 +286,7 @@ let of_json (line : string) : event option =
                      loops_detected = int "loops_detected";
                      branch_hwm = int "branch_hwm" })
     | "checkpoint" -> Some (Checkpoint { iter = int "iter" })
+    | "quarantined" -> Some (Quarantined { iter = int "iter" })
     | "shard_merge" ->
       Some (Shard_merge { shards = int "shards"; events = int "events" })
     | "profile" ->
@@ -316,6 +320,7 @@ let map_iter (f : int -> int) (ev : event) : event =
   | Finding e -> Finding { e with iter = f e.iter }
   | Vstats e -> Vstats { e with iter = f e.iter }
   | Checkpoint { iter } -> Checkpoint { iter = f iter }
+  | Quarantined { iter } -> Quarantined { iter = f iter }
   | Shard_merge _ | Profile _ -> ev
 
 let emit (t : sink) (ev : event) : unit =
@@ -326,6 +331,28 @@ let emit (t : sink) (ev : event) : unit =
       output_string oc (to_json (map_iter t.iter_map ev));
       output_char oc '\n'
     end
+
+let flush (t : sink) : unit =
+  match t.oc with
+  | Some oc when not t.closed -> Stdlib.flush oc
+  | Some _ | None -> ()
+
+let pos (t : sink) : int =
+  match t.oc with
+  | Some oc when not t.closed -> Stdlib.flush oc; pos_out oc
+  | Some _ | None -> 0
+
+(* Reopen an existing trace for appending from [pos], discarding
+   whatever a crashed writer managed to append past it.  Restarted
+   supervisor workers use this: the worker checkpoint records the trace
+   offset at the barrier, so replayed iterations never appear twice. *)
+let reopen ?(iter_map = fun i -> i) (path : string) ~(pos : int) : sink =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  Unix.ftruncate fd pos;
+  ignore (Unix.lseek fd pos Unix.SEEK_SET : int);
+  { oc = Some (Unix.out_channel_of_descr fd); iter_map; closed = false }
 
 let close (t : sink) : unit =
   match t.oc with
@@ -395,6 +422,7 @@ type summary = {
   su_rejected : int;
   su_findings : int;
   su_checkpoints : int;
+  su_quarantined : int;
   su_by_type : (string * (int * int)) list;
   su_reasons : (Reject_reason.t * int) list;
   su_vstats : vstats_summary option;
@@ -412,7 +440,7 @@ let summarize (events : event list) : summary =
   let by_type : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
   let reasons : (Reject_reason.t, int) Hashtbl.t = Hashtbl.create 8 in
   let generated = ref 0 and accepted = ref 0 and rejected = ref 0 in
-  let findings = ref 0 and checkpoints = ref 0 in
+  let findings = ref 0 and checkpoints = ref 0 and quarantined = ref 0 in
   let profile = ref None in
   let vs_insn = ref [] and vs_peak = ref [] and vs_count = ref 0 in
   let bump_type pt ~acc =
@@ -437,6 +465,7 @@ let summarize (events : event list) : summary =
          vs_insn := insn_processed :: !vs_insn;
          vs_peak := peak_states :: !vs_peak
        | Checkpoint _ -> incr checkpoints
+       | Quarantined _ -> incr quarantined
        | Shard_merge _ -> ()
        | Profile _ -> profile := Some ev)
     events;
@@ -447,6 +476,7 @@ let summarize (events : event list) : summary =
     su_rejected = !rejected;
     su_findings = !findings;
     su_checkpoints = !checkpoints;
+    su_quarantined = !quarantined;
     su_by_type =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_type []
       |> List.sort compare;
@@ -481,6 +511,9 @@ let pp_summary fmt (s : summary) : unit =
     s.su_events s.su_generated s.su_accepted
     (pct s.su_accepted s.su_generated)
     s.su_rejected s.su_findings s.su_checkpoints;
+  if s.su_quarantined > 0 then
+    Format.fprintf fmt "  %d iterations quarantined by the supervisor@."
+      s.su_quarantined;
   if s.su_by_type <> [] then begin
     Format.fprintf fmt "@.  %-16s %10s %10s %8s@." "prog type" "generated"
       "accepted" "rate";

@@ -47,6 +47,10 @@ type event =
           Deterministic (no wall times), so part of the byte-identical
           trace contract.  Emitted only when the analysis ran. *)
   | Checkpoint of { iter : int }
+  | Quarantined of { iter : int }
+      (** the iteration was skipped because a harness crash in a
+          previous run quarantined it ({!Campaign.step_skip}): disturbed
+          work is listed in the trace, never silently dropped *)
   | Shard_merge of { shards : int; events : int }
       (** appended by {!merge_shards} *)
   | Profile of {
@@ -87,6 +91,21 @@ val emit : sink -> event -> unit
 val close : sink -> unit
 (** Flush and close; [emit] after [close] (and everything on {!null})
     is a no-op. *)
+
+val flush : sink -> unit
+(** Push buffered events to disk without closing — the supervisor's
+    workers flush at every heartbeat so a SIGKILL loses at most the
+    current iteration's events. *)
+
+val pos : sink -> int
+(** Byte offset after flushing: everything emitted so far is on disk
+    below this offset.  Worker checkpoints record it so a restart can
+    {!reopen} the trace exactly at the barrier. *)
+
+val reopen : ?iter_map:(int -> int) -> string -> pos:int -> sink
+(** Reopen [path] for appending from byte [pos], truncating whatever a
+    crashed writer appended past it — replayed iterations never appear
+    twice in the trace. *)
 
 val read_file : string -> event list
 (** Parse a JSONL trace, skipping unparsable lines. *)
@@ -134,6 +153,7 @@ type summary = {
   su_rejected : int;
   su_findings : int;
   su_checkpoints : int;
+  su_quarantined : int;
   su_by_type : (string * (int * int)) list;
       (** prog type -> (generated, accepted), sorted by name *)
   su_reasons : (Bvf_verifier.Reject_reason.t * int) list;

@@ -65,3 +65,86 @@ let pp_slice fmt (s : slice) : unit =
 
 let slice_to_string (s : slice) : string =
   Format.asprintf "%a" pp_slice s
+
+(* -- Harness crashes ----------------------------------------------------- *)
+
+(* A supervised worker died or hung.  This is a finding about the
+   *harness* (an analyzer bug the in-process runner could never report:
+   it would have died with it), so it gets its own artifact class —
+   recorded, quarantined and reported, but never mixed into the oracle's
+   verifier-bug findings. *)
+
+type crash_cause =
+  | Crash_exit of int    (* non-zero exit code *)
+  | Crash_signal of int  (* killed by this signal *)
+  | Crash_hang           (* no heartbeat within the deadline *)
+
+type harness_crash = {
+  hc_worker : int;            (* worker (= shard) index *)
+  hc_iteration : int option;  (* global iteration being executed, when
+                                 the heartbeat recorded one *)
+  hc_cause : crash_cause;
+  hc_restarts : int;          (* restarts of this worker so far *)
+}
+
+let crash_cause_to_string = function
+  | Crash_exit code -> Printf.sprintf "exit %d" code
+  | Crash_signal sg -> Printf.sprintf "signal %d" sg
+  | Crash_hang -> "hang (heartbeat deadline exceeded)"
+
+let harness_crash_to_string (c : harness_crash) : string =
+  Printf.sprintf "worker %d %s%s after %d restart%s" c.hc_worker
+    (crash_cause_to_string c.hc_cause)
+    (match c.hc_iteration with
+     | Some i -> Printf.sprintf " at iteration %d" i
+     | None -> " before any heartbeat")
+    c.hc_restarts
+    (if c.hc_restarts = 1 then "" else "s")
+
+(* One flat JSON object per crash, same dialect as the telemetry trace
+   (parseable by Telemetry.parse_object). *)
+let harness_crash_to_json (c : harness_crash) : string =
+  let b = Buffer.create 96 in
+  Printf.bprintf b "{\"ev\":\"harness_crash\",\"worker\":%d" c.hc_worker;
+  (match c.hc_iteration with
+   | Some i -> Printf.bprintf b ",\"iter\":%d" i
+   | None -> ());
+  (match c.hc_cause with
+   | Crash_exit code -> Printf.bprintf b ",\"cause\":\"exit\",\"code\":%d" code
+   | Crash_signal sg ->
+     Printf.bprintf b ",\"cause\":\"signal\",\"signal\":%d" sg
+   | Crash_hang -> Buffer.add_string b ",\"cause\":\"hang\"");
+  Printf.bprintf b ",\"restarts\":%d}" c.hc_restarts;
+  Buffer.contents b
+
+let harness_crash_of_json (line : string) : harness_crash option =
+  match
+    let fields = Telemetry.parse_object (String.trim line) in
+    let str k =
+      match List.assoc_opt k fields with
+      | Some (Telemetry.Jstr s) -> Some s
+      | _ -> None
+    in
+    let int k =
+      match List.assoc_opt k fields with
+      | Some (Telemetry.Jnum f) -> Some (int_of_float f)
+      | _ -> None
+    in
+    if str "ev" <> Some "harness_crash" then None
+    else
+      match str "cause", int "worker", int "restarts" with
+      | Some cause, Some worker, Some restarts ->
+        let hc_cause =
+          match cause with
+          | "exit" -> Crash_exit (Option.value (int "code") ~default:1)
+          | "signal" ->
+            Crash_signal (Option.value (int "signal") ~default:9)
+          | _ -> Crash_hang
+        in
+        Some
+          { hc_worker = worker; hc_iteration = int "iter"; hc_cause;
+            hc_restarts = restarts }
+      | _ -> None
+  with
+  | v -> v
+  | exception Telemetry.Parse -> None

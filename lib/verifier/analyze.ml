@@ -219,7 +219,14 @@ let maybe_prune (env : Venv.t) ~(pc : int)
         Hashtbl.replace env.Venv.explored pc (e :: stored);
         env.Venv.ancestors <- e :: env.Venv.ancestors;
         Vstats.state_stored env.Venv.vst
-          ~at_insn:(List.length stored + 1)
+          ~at_insn:(List.length stored + 1);
+        if env.Venv.vst.Vstats.vs_total_states > Venv.total_states_limit
+        then begin
+          Venv.cov env "budget:states";
+          Venv.reject env ~reason:Reject_reason.Budget_exhausted ~pc
+            Venv.E2BIG "state budget exhausted: %d states stored"
+            env.Venv.vst.Vstats.vs_total_states
+        end
       end;
       false
   end
@@ -339,6 +346,14 @@ let run (env : Venv.t) : unit =
               (pc + 1 + off, taken, env.Venv.ancestors)
               :: env.Venv.branch_stack;
             Vstats.branch_pushed env.Venv.vst;
+            if env.Venv.vst.Vstats.vs_branch_depth
+               > Venv.branch_depth_limit
+            then begin
+              Venv.cov env "budget:branches";
+              Venv.reject env ~reason:Reject_reason.Budget_exhausted ~pc
+                Venv.E2BIG "branch budget exhausted: %d pending branches"
+                env.Venv.vst.Vstats.vs_branch_depth
+            end;
             env.Venv.st <- fall;
             walk (pc + 1)
           | Check_jmp.Taken_only st ->

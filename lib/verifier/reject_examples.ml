@@ -103,6 +103,17 @@ let all : example list =
            [ call_local 1; exit_ ];
            [ call_local 1; exit_ ];
            ret 0l ]);
+    mk Reject_reason.Budget_exhausted
+      "branch ladder past the pending-branch budget"
+      (* one unknown scalar compared against 520 distinct constants,
+         every jump falling through (off = 0): each comparison pushes a
+         sibling path, blowing the pending-branch budget on the very
+         first walk — the structured form of branch explosion *)
+      (plain Prog.Socket_filter
+         [ ldx_w R0 R1 0
+           :: List.init 520
+                (fun i -> jmp_imm Insn.Jeq R0 (Int32.of_int i) 0);
+           ret 0l ]);
     mk Reject_reason.Bad_cfg "jump past the end of the program"
       (plain Prog.Socket_filter [ [ ja 1; exit_ ] ]);
     mk Reject_reason.Bad_insn "write to the hidden register R11"

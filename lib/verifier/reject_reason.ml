@@ -28,6 +28,7 @@ type t =
   | Bad_return_value
   | Unbounded_loop
   | Insn_limit
+  | Budget_exhausted
   | Bad_cfg
   | Bad_insn
   | Bad_map_op
@@ -41,7 +42,8 @@ let all =
   [ Uninit_access; Oob_access; Bad_ctx_access; Null_deref; Ptr_leak;
     Bad_ptr_arith; Type_mismatch; Bad_helper_arg; Helper_unavailable;
     Lock_violation; Ref_leak; Bad_return_value; Unbounded_loop;
-    Insn_limit; Bad_cfg; Bad_insn; Bad_map_op; Priv; Bad_attach;
+    Insn_limit; Budget_exhausted; Bad_cfg; Bad_insn; Bad_map_op; Priv;
+    Bad_attach;
     Prog_size; Env_failure; Unknown ]
 
 let to_string = function
@@ -59,6 +61,7 @@ let to_string = function
   | Bad_return_value -> "bad_return_value"
   | Unbounded_loop -> "unbounded_loop"
   | Insn_limit -> "insn_limit"
+  | Budget_exhausted -> "budget_exhausted"
   | Bad_cfg -> "bad_cfg"
   | Bad_insn -> "bad_insn"
   | Bad_map_op -> "bad_map_op"
@@ -86,6 +89,7 @@ let describe = function
   | Bad_return_value -> "R0 outside the program type's return range"
   | Unbounded_loop -> "loop makes no provable progress"
   | Insn_limit -> "verification complexity budget exhausted"
+  | Budget_exhausted -> "analysis state or branch budget exhausted"
   | Bad_cfg -> "control flow leaves the program or is unreachable"
   | Bad_insn -> "malformed instruction or reserved register/helper"
   | Bad_map_op -> "map fd unresolvable or operation unsupported"
@@ -131,6 +135,8 @@ let patterns : (string * t) list =
     (* complexity *)
     ("BPF program is too large. Processed", Insn_limit);
     ("call stack of", Insn_limit);
+    ("state budget exhausted", Budget_exhausted);
+    ("branch budget exhausted", Budget_exhausted);
     ("infinite loop detected", Unbounded_loop);
     (* privilege: "requires CAP_BPF", "kfunc calls require CAP_BPF" *)
     ("CAP_BPF", Priv);

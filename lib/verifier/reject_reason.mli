@@ -27,6 +27,8 @@ type t =
   | Bad_return_value   (** R0 outside the program type's return range *)
   | Unbounded_loop     (** back-edge with no loop variable progress *)
   | Insn_limit         (** complexity budget exhausted (1M-insn analogue) *)
+  | Budget_exhausted   (** analyzer state/branch budget hit: a structured
+                           rejection where an unbounded walk would hang *)
   | Bad_cfg            (** jump out of range, unreachable or fall-off code *)
   | Bad_insn           (** malformed instruction operand or reserved use *)
   | Bad_map_op         (** unresolvable map fd / unsupported map operation *)

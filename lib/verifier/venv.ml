@@ -99,6 +99,15 @@ let insn_processed_limit = 100_000
 let max_explored_per_insn = 24
 let max_call_depth = 4
 
+(* Hard analysis budgets (total stored states, pending-branch depth).
+   Pathological branch explosion hits these long before wall-clock
+   matters and surfaces as a structured [Budget_exhausted] rejection
+   instead of an analyzer hang the supervisor would have to kill.  Both
+   sit far above anything legitimate: the kernel-selftest corpus peaks
+   at 60 stored states and a branch high-water mark of 8. *)
+let total_states_limit = 8192
+let branch_depth_limit = 512
+
 let create ~(kst : Kstate.t) ~(prog_type : Prog.prog_type)
     ~(attach : Tracepoint.t option) ~(cov : Coverage.t) ?(log_level = 0)
     (insns : Insn.t array) : t =

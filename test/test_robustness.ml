@@ -225,6 +225,56 @@ let test_checkpoint_container () =
    | _ -> Alcotest.fail "expected bad magic");
   Sys.remove path
 
+(* Fuzz the checkpoint loader: every truncation and every single-bit
+   corruption of a valid checkpoint file must come back as a clean
+   [Error] — never an exception, never a silently wrong [Ok].  This is
+   the surface a crashed writer or a bad disk hands the supervisor. *)
+let test_checkpoint_loader_fuzz () =
+  let path = Filename.temp_file "bvf_ldfz" ".ckpt" in
+  let _ =
+    Campaign.run ~checkpoint_every:50 ~checkpoint_path:path ~seed:11
+      ~iterations:50 Campaign.bvf_strategy (Kconfig.default Version.V6_1)
+  in
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let len = String.length contents in
+  let write_bytes (b : bytes) : unit =
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc
+  in
+  let expect_error what =
+    match Campaign.load_checkpoint ~path with
+    | Ok _ -> Alcotest.failf "%s loaded as Ok" what
+    | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s raised %s" what (Printexc.to_string e)
+  in
+  (* truncations, including the empty file *)
+  let t = ref 0 in
+  while !t < len do
+    write_bytes (Bytes.of_string (String.sub contents 0 !t));
+    expect_error (Printf.sprintf "truncation to %d bytes" !t);
+    t := !t + max 1 (len / 97)
+  done;
+  (* single bit flips across the file (header, digest and payload) *)
+  let off = ref 0 in
+  while !off < len do
+    let b = Bytes.of_string contents in
+    Bytes.set b !off (Char.chr (Char.code (Bytes.get b !off) lxor 0x10));
+    write_bytes b;
+    expect_error (Printf.sprintf "bit flip at offset %d" !off);
+    off := !off + max 1 (len / 211)
+  done;
+  (* the pristine bytes still load *)
+  write_bytes (Bytes.of_string contents);
+  (match Campaign.load_checkpoint ~path with
+   | Ok s ->
+     Alcotest.(check int) "pristine file loads" 50 s.Campaign.sn_completed
+   | Error e -> Alcotest.fail (Checkpoint.error_to_string e));
+  Sys.remove path
+
 (* -- Resume determinism ------------------------------------------------- *)
 
 (* 2N iterations straight (with a checkpoint barrier every N) must be
@@ -272,7 +322,58 @@ let test_checkpoint_resume_determinism () =
   Sys.remove path_a;
   Sys.remove path_b
 
-(* Resuming against the wrong tool or kernel is refused. *)
+(* External stop (the CLI's SIGINT/SIGTERM path): the campaign finishes
+   the in-flight iteration, writes a final checkpoint and stops.  The
+   stop acts as an extra barrier (save, then reboot — checked before
+   the scheduled-barrier test, so a stop landing ON a barrier runs the
+   sequence once).  Resuming replays the exact continuation, so:
+   - a stop aligned with a scheduled barrier resumes to the same digest
+     as the uninterrupted run (identical barrier schedules);
+   - a stop anywhere is deterministic: two independent
+     stop-at-i/resume sequences produce identical digests. *)
+let test_stop_resume_digest_identity () =
+  let config = Kconfig.default Version.V6_1 in
+  let total = 300 in
+  let stop_resume (stop_at : int) : Campaign.stats =
+    let path = Filename.temp_file "bvf_stop" ".ckpt" in
+    let polls = ref 0 in
+    let stopped =
+      Campaign.run ~checkpoint_every:100 ~checkpoint_path:path
+        ~stop:(fun () -> incr polls; !polls >= stop_at)
+        ~seed:21 ~iterations:total Campaign.bvf_strategy config
+    in
+    Alcotest.(check int) "stopped after the in-flight iteration" stop_at
+      stopped.Campaign.st_generated;
+    let snap =
+      match Campaign.load_checkpoint ~path with
+      | Ok s -> s
+      | Error e -> Alcotest.fail (Checkpoint.error_to_string e)
+    in
+    Alcotest.(check int) "final checkpoint taken at the stop" stop_at
+      snap.Campaign.sn_completed;
+    Sys.remove path;
+    Campaign.run ~resume_from:snap ~checkpoint_every:100 ~seed:0
+      ~iterations:(total - stop_at) Campaign.bvf_strategy config
+  in
+  let straight =
+    Campaign.run ~checkpoint_every:100 ~seed:21 ~iterations:total
+      Campaign.bvf_strategy config
+  in
+  (* barrier-aligned stop: bit-for-bit the uninterrupted campaign *)
+  let resumed_200 = stop_resume 200 in
+  Alcotest.(check string) "barrier-aligned stop resumes to same digest"
+    (Campaign.digest straight)
+    (Campaign.digest resumed_200);
+  (* arbitrary stop: the extra stop barrier (one more reboot) is in the
+     digest, so compare two independent interrupted runs instead *)
+  let a = stop_resume 137 and b = stop_resume 137 in
+  Alcotest.(check string) "arbitrary stop resumes deterministically"
+    (Campaign.digest a) (Campaign.digest b);
+  Alcotest.(check int) "arbitrary stop completes the budget" total
+    a.Campaign.st_generated;
+  Alcotest.(check int) "one extra reboot from the stop barrier"
+    (straight.Campaign.st_reboots + 1)
+    a.Campaign.st_reboots
 let test_resume_validation () =
   let config = Kconfig.default Version.V6_1 in
   let path = Filename.temp_file "bvf_val" ".ckpt" in
@@ -314,8 +415,12 @@ let () =
         [ Alcotest.test_case "quarantine" `Quick test_corpus_quarantine ] );
       ( "checkpoint",
         [ Alcotest.test_case "container" `Quick test_checkpoint_container;
+          Alcotest.test_case "loader fuzz" `Slow
+            test_checkpoint_loader_fuzz;
           Alcotest.test_case "resume determinism" `Slow
             test_checkpoint_resume_determinism;
+          Alcotest.test_case "stop/resume digest identity" `Slow
+            test_stop_resume_digest_identity;
           Alcotest.test_case "resume validation" `Quick
             test_resume_validation ] );
     ]
