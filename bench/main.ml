@@ -13,6 +13,13 @@
                                               1/2/4 domains; writes
                                               BENCH_parallel.json
      dune exec bench/main.exe -- parallel-quick - same, smoke-sized
+     dune exec bench/main.exe -- verify     - verification hot path only
+     dune exec bench/main.exe -- exec       - execution hot path only
+     dune exec bench/main.exe -- hotpath    - verify + exec + sequential
+                                              campaign; writes
+                                              BENCH_hotpath.json
+     dune exec bench/main.exe -- hotpath-quick - same, smoke-sized (CI
+                                              regression gate input)
      dune exec bench/main.exe -- bechamel   - Bechamel timing suite
                                               (one Test.make per artefact) *)
 
@@ -65,6 +72,27 @@ let run_parallel ?(path = "BENCH_parallel.json") ~iterations () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Hot-path microbench: sequential verify / exec / campaign throughput
+   plus allocation, recorded as BENCH_hotpath.json — the input of the
+   CI regression gate (scripts/check_hotpath.sh). *)
+let run_hotpath ?(path = "BENCH_hotpath.json") ~count ~repeat ~exec_runs
+    ~iterations () =
+  line ();
+  let h = E.hotpath_bench ~count ~repeat ~exec_runs ~iterations () in
+  E.print_hotpath h;
+  let oc = open_out path in
+  output_string oc (E.hotpath_to_json h);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let print_hotpath_row (r : E.hotpath_row) =
+  line ();
+  Printf.printf
+    "%s: %d programs, %d insns in %.3fs = %.0f programs/sec, %.1f \
+     ns/insn, %.0f minor words/program\n"
+    r.E.hp_name r.E.hp_programs r.E.hp_insns r.E.hp_seconds
+    r.E.hp_progs_per_sec r.E.hp_ns_per_insn r.E.hp_minor_words_per_prog
+
 (* -- Bechamel micro-suite: one Test.make per paper artefact ------------- *)
 
 let bechamel_suite () =
@@ -116,6 +144,15 @@ let () =
   | "ablation" -> run_ablation ~iterations:6_000 ()
   | "parallel" -> run_parallel ~iterations:6_000 ()
   | "parallel-quick" -> run_parallel ~iterations:1_500 ()
+  | "verify" -> print_hotpath_row (E.hotpath_verify ~repeat:10 ())
+  | "exec" -> print_hotpath_row (E.hotpath_exec ~runs:60 ())
+  | "hotpath" ->
+    run_hotpath ~count:708 ~repeat:10 ~exec_runs:60 ~iterations:6_000 ()
+  | "hotpath-quick" ->
+    (* rows sized to stay well above timer noise on shared CI runners:
+       the 20%-drop gate in scripts/check_hotpath.sh needs each row to
+       run for a few hundred milliseconds at least *)
+    run_hotpath ~count:400 ~repeat:20 ~exec_runs:120 ~iterations:3_000 ()
   | "bechamel" -> bechamel_suite ()
   | "quick" ->
     run_table2 ~iterations:3_000 ();
@@ -135,6 +172,7 @@ let () =
   | other ->
     Printf.eprintf
       "unknown experiment %S (try: all quick table2 table3 figure6 \
-       acceptance overhead ablation parallel parallel-quick bechamel)\n"
+       acceptance overhead ablation parallel parallel-quick verify exec \
+       hotpath hotpath-quick bechamel)\n"
       other;
     exit 2

@@ -565,3 +565,179 @@ let print_ablation (rows : ablation_row list) : unit =
        Printf.printf "  %-26s %8d %9.1f%% %18d\n" r.ab_name r.ab_edges
          (100.0 *. r.ab_accept) r.ab_correctness_bugs)
     rows
+
+(* -- Hot-path microbench (BENCH_hotpath.json) ----------------------------- *)
+
+(* Sequential single-core throughput of the three pipeline hot paths:
+   verification (the dominant campaign phase), pre-decoded execution,
+   and the end-to-end campaign step.  Alongside wall-clock rates the
+   rows record minor-heap allocation per program (Gc.minor_words) —
+   the state-pool and decoded-executor work shows up there first — and
+   the campaign row pins the determinism digest, so a perf change that
+   accidentally alters behavior fails loudly in the regression gate. *)
+
+type hotpath_row = {
+  hp_name : string;                 (* "verify" | "exec" | "campaign" *)
+  hp_programs : int;                (* loads / executions / iterations *)
+  hp_insns : int;                   (* insns analyzed or executed *)
+  hp_seconds : float;
+  hp_progs_per_sec : float;
+  hp_ns_per_insn : float;
+  hp_minor_words_per_prog : float;  (* allocation pressure *)
+}
+
+type hotpath_bench = {
+  hb_count : int;       (* selftest corpus size (verify/exec rows) *)
+  hb_repeat : int;      (* verify passes over the corpus *)
+  hb_exec_runs : int;   (* executions per program *)
+  hb_iterations : int;  (* campaign-row iteration budget *)
+  hb_seed : int;
+  hb_digest : string;   (* campaign digest: determinism pin *)
+  hb_rows : hotpath_row list;
+}
+
+let hp_row ~name ~programs ~insns ~seconds ~minor_words : hotpath_row =
+  {
+    hp_name = name;
+    hp_programs = programs;
+    hp_insns = insns;
+    hp_seconds = seconds;
+    hp_progs_per_sec =
+      (if seconds > 0.0 then float_of_int programs /. seconds else 0.0);
+    hp_ns_per_insn =
+      (if insns > 0 then seconds *. 1e9 /. float_of_int insns else 0.0);
+    hp_minor_words_per_prog =
+      (if programs > 0 then minor_words /. float_of_int programs else 0.0);
+  }
+
+(* Verify row: [repeat] sequential verification passes over the
+   selftest corpus (fixed verifier, sanitation on — the campaign's
+   dominant workload shape). *)
+let hotpath_verify ?(count = Selftests.target_count) ?(repeat = 10)
+    ?(version = Version.Bpf_next) () : hotpath_row =
+  let suite = Selftests.build ~count version in
+  let kst = suite.Selftests.session.Loader.kst in
+  let cov = suite.Selftests.session.Loader.cov in
+  let programs = ref 0 and insns = ref 0 in
+  let w0 = Gc.minor_words () in
+  let t0 = Bvf_util.Mclock.now_s () in
+  for _ = 1 to repeat do
+    List.iter
+      (fun req ->
+         incr programs;
+         match Verifier.load kst ~cov req with
+         | Ok l -> insns := !insns + l.Verifier.l_insn_processed
+         | Error _ -> ())
+      suite.Selftests.requests
+  done;
+  let seconds = Bvf_util.Mclock.elapsed_s ~since:t0 in
+  let minor_words = Gc.minor_words () -. w0 in
+  hp_row ~name:"verify" ~programs:!programs ~insns:!insns ~seconds
+    ~minor_words
+
+(* Exec row: [runs] executions of each verified selftest through the
+   pre-decoded interpreter (decode happens once per program, amortized
+   by the per-session decode cache). *)
+let hotpath_exec ?(count = Selftests.target_count) ?(runs = 60)
+    ?(version = Version.Bpf_next) () : hotpath_row =
+  let suite = Selftests.build ~count version in
+  let session = suite.Selftests.session in
+  let loaded =
+    List.filter_map
+      (fun req ->
+         match
+           Verifier.load session.Loader.kst ~cov:session.Loader.cov req
+         with
+         | Ok l -> Some l
+         | Error _ -> None)
+      suite.Selftests.requests
+  in
+  let programs = ref 0 and insns = ref 0 in
+  let w0 = Gc.minor_words () in
+  let t0 = Bvf_util.Mclock.now_s () in
+  List.iter
+    (fun prog ->
+       for _ = 1 to runs do
+         incr programs;
+         let r = Loader.execute session prog in
+         insns := !insns + r.Exec.insns_executed
+       done)
+    loaded;
+  let seconds = Bvf_util.Mclock.elapsed_s ~since:t0 in
+  let minor_words = Gc.minor_words () -. w0 in
+  hp_row ~name:"exec" ~programs:!programs ~insns:!insns ~seconds
+    ~minor_words
+
+(* Campaign row: the end-to-end sequential pipeline (generate, verify,
+   sanitize, execute, oracle) — the number the ROADMAP hot-path item
+   tracks — plus the digest that pins behavior. *)
+let hotpath_campaign ?(iterations = 6_000) ?(seed = 1) () :
+  hotpath_row * string =
+  let config = Kconfig.default Version.Bpf_next in
+  let w0 = Gc.minor_words () in
+  let stats, seconds =
+    Bvf_util.Mclock.time_s (fun () ->
+        Campaign.run ~seed ~iterations Campaign.bvf_strategy config)
+  in
+  let minor_words = Gc.minor_words () -. w0 in
+  let row =
+    hp_row ~name:"campaign" ~programs:stats.Campaign.st_generated
+      ~insns:stats.Campaign.st_vstats.Bvf_verifier.Vstats.ag_insn_processed
+      ~seconds ~minor_words
+  in
+  (row, Campaign.digest stats)
+
+let hotpath_bench ?(count = Selftests.target_count) ?(repeat = 10)
+    ?(exec_runs = 60) ?(iterations = 6_000) ?(seed = 1) () :
+  hotpath_bench =
+  let verify = hotpath_verify ~count ~repeat () in
+  let exec = hotpath_exec ~count ~runs:exec_runs () in
+  let campaign, digest = hotpath_campaign ~iterations ~seed () in
+  {
+    hb_count = count;
+    hb_repeat = repeat;
+    hb_exec_runs = exec_runs;
+    hb_iterations = iterations;
+    hb_seed = seed;
+    hb_digest = digest;
+    hb_rows = [ verify; exec; campaign ];
+  }
+
+let print_hotpath (h : hotpath_bench) : unit =
+  Printf.printf
+    "Hot-path microbench (sequential, %d selftests x%d, %d exec runs, \
+     %d campaign iterations, seed %d)\n"
+    h.hb_count h.hb_repeat h.hb_exec_runs h.hb_iterations h.hb_seed;
+  Printf.printf "  %-10s %9s %12s %9s %13s %10s %14s\n" "row" "programs"
+    "insns" "seconds" "programs/sec" "ns/insn" "minor-w/prog";
+  List.iter
+    (fun r ->
+       Printf.printf "  %-10s %9d %12d %9.3f %13.0f %10.1f %14.0f\n"
+         r.hp_name r.hp_programs r.hp_insns r.hp_seconds
+         r.hp_progs_per_sec r.hp_ns_per_insn r.hp_minor_words_per_prog)
+    h.hb_rows;
+  Printf.printf "  campaign digest: %s\n" h.hb_digest
+
+let hotpath_to_json (h : hotpath_bench) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"bench\": \"hotpath\",\n";
+  Printf.bprintf b "  \"count\": %d,\n" h.hb_count;
+  Printf.bprintf b "  \"repeat\": %d,\n" h.hb_repeat;
+  Printf.bprintf b "  \"exec_runs\": %d,\n" h.hb_exec_runs;
+  Printf.bprintf b "  \"iterations\": %d,\n" h.hb_iterations;
+  Printf.bprintf b "  \"seed\": %d,\n" h.hb_seed;
+  Printf.bprintf b "  \"digest\": \"%s\",\n" h.hb_digest;
+  Printf.bprintf b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+       Printf.bprintf b
+         "    {\"name\": \"%s\", \"programs\": %d, \"insns\": %d, \
+          \"seconds\": %.6f, \"programs_per_sec\": %.1f, \
+          \"ns_per_insn\": %.2f, \"minor_words_per_prog\": %.1f}%s\n"
+         r.hp_name r.hp_programs r.hp_insns r.hp_seconds
+         r.hp_progs_per_sec r.hp_ns_per_insn r.hp_minor_words_per_prog
+         (if i < List.length h.hb_rows - 1 then "," else ""))
+    h.hb_rows;
+  Printf.bprintf b "  ]\n}\n";
+  Buffer.contents b

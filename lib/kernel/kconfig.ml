@@ -41,7 +41,16 @@ type bug =
     (* helper: irq_work_queue misuse in ringbuf helpers -> lock bug *)
   | Bug11_xdp_host_exec
     (* XDP: device-offloaded program executed on the host *)
+  | Bug12_narrow_load_const
+    (* verifier: narrow Ldx of a constant spill keeps the stale
+       full-width constant instead of truncating to the access width.
+       Not part of the campaign corpus (no version ever shipped it in
+       this simulation): it re-creates the pre-fix behavior of this
+       repo's own narrow-load bug so directed tests can demonstrate the
+       abstract/concrete divergence through the witness oracle. *)
 
+(* Bug12 deliberately excluded: a regression demonstrator, not a
+   campaign ground truth. *)
 let all_bugs =
   [ Bug1_nullness_propagation; Bug2_btf_size_check;
     Bug3_backtrack_precision; Bug4_trace_printk_recursion;
@@ -62,6 +71,7 @@ let bug_to_string = function
   | Bug9_map_bucket_iter -> "bug9-map-bucket-iter"
   | Bug10_irq_work_lock -> "bug10-irq-work-lock"
   | Bug11_xdp_host_exec -> "bug11-xdp-host-exec"
+  | Bug12_narrow_load_const -> "bug12-narrow-load-const"
 
 (* Table 2 component / description / severity, for reporting. *)
 let bug_info = function
@@ -92,6 +102,9 @@ let bug_info = function
     ("Helper", "incorrect use of irq_work_queue in helper", `Lock)
   | Bug11_xdp_host_exec ->
     ("XDP", "device program executed on the host", `Memory)
+  | Bug12_narrow_load_const ->
+    ("Verifier", "narrow load of a constant spill not truncated",
+     `Correctness)
 
 (* Historical presence: which versions ship each bug (before its fix). *)
 let bug_in_version (v : Version.t) (b : bug) : bool =
@@ -109,6 +122,9 @@ let bug_in_version (v : Version.t) (b : bug) : bool =
   | Cve_2022_23222 ->
     (* fixed in v5.16; of the evaluated versions only v5.15 carries it *)
     v = Version.V5_15
+  | Bug12_narrow_load_const ->
+    (* never shipped: exists only for directed regression tests *)
+    false
   | Bug2_btf_size_check | Bug4_trace_printk_recursion | Bug6_signal_send_nmi
   | Bug7_dispatcher_race | Bug8_kmemdup_limit | Bug9_map_bucket_iter
   | Bug10_irq_work_lock -> true

@@ -17,8 +17,18 @@ type bug =
   | Bug9_map_bucket_iter
   | Bug10_irq_work_lock
   | Bug11_xdp_host_exec
+  | Bug12_narrow_load_const
+      (** verifier: a narrow [Ldx] of a constant spill keeps the stale
+          full-width constant instead of truncating it to the access
+          width.  Regression demonstrator for the narrow-load fix —
+          deliberately NOT in {!all_bugs} and shipped by no version:
+          directed tests enable it explicitly to show the old behavior
+          was a real abstract/concrete divergence. *)
 
 val all_bugs : bug list
+(** The campaign corpus.  Excludes {!Bug12_narrow_load_const}, which
+    exists only for directed regression tests. *)
+
 val bug_to_string : bug -> string
 
 val bug_info : bug -> string * string * [ `Correctness | `Memory | `Lock ]

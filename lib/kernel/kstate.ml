@@ -17,6 +17,7 @@ type t = {
   mutable next_prog_id : int;
   mutable btf_regions : (int * Kmem.region) list; (* btf id -> object *)
   mutable reports : Report.t list;
+  mutable report_count : int; (* List.length reports, maintained O(1) *)
   mutable time_ns : int64;
   mutable prandom_state : int64;
   mutable current_pid : int64;
@@ -60,6 +61,7 @@ let create ?failslab (config : Kconfig.t) : t =
     next_prog_id = 1;
     btf_regions;
     reports = [];
+    report_count = 0;
     time_ns = 1_000_000L;
     prandom_state = 0x853c49e6748fea9bL;
     current_pid = 4242L;
@@ -102,12 +104,17 @@ let pool_return (t : t) (r : Kmem.region) : unit =
 
 let has_bug (t : t) (b : Kconfig.bug) : bool = Kconfig.has t.config b
 
-let report (t : t) (r : Report.t) : unit = t.reports <- r :: t.reports
+let report (t : t) (r : Report.t) : unit =
+  t.reports <- r :: t.reports;
+  t.report_count <- t.report_count + 1
 
 let take_reports (t : t) : Report.t list =
   let rs = List.rev t.reports in
   t.reports <- [];
+  t.report_count <- 0;
   rs
+
+let report_count (t : t) : int = t.report_count
 
 let peek_reports (t : t) : Report.t list = List.rev t.reports
 

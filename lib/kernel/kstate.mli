@@ -18,6 +18,9 @@ type t = {
   mutable next_prog_id : int;
   mutable btf_regions : (int * Kmem.region) list;
   mutable reports : Report.t list;
+  mutable report_count : int;
+      (** [List.length reports], maintained incrementally so per-step
+          "did a new report land?" checks are O(1) *)
   mutable time_ns : int64;
   mutable prandom_state : int64;
   mutable current_pid : int64;
@@ -39,6 +42,9 @@ val has_bug : t -> Kconfig.bug -> bool
 val report : t -> Report.t -> unit
 val take_reports : t -> Report.t list
 val peek_reports : t -> Report.t list
+
+val report_count : t -> int
+(** Number of pending reports, in O(1) (= [List.length (peek_reports t)]). *)
 
 val pool_take : t -> kind:Kmem.kind -> size:int -> Kmem.region
 (** Borrow a zeroed scratch region from the pool (or allocate one). *)

@@ -57,6 +57,112 @@ let fill_ctx (layout : Prog.ctx_layout) (r : Kmem.region) : unit =
        | Prog.Fk_pkt_data | Prog.Fk_pkt_end -> ())
     layout.Prog.fields
 
+(* -- Pre-decoded programs --------------------------------------------- *)
+
+(* Re-dispatching on the [Insn.t] variant every step repeats work that
+   is fixed for the lifetime of a loaded program: register projections,
+   jump-target arithmetic, immediate widening, helper/kfunc table
+   lookups, the fired-tracepoint list and the per-pc exception-table
+   flag.  A loaded program is compiled once into a flat decoded op
+   table and the interpreter runs over that. *)
+
+type dsrc = D_imm of int64 | D_reg of int
+
+type dop =
+  | D_neg of int                        (* 64-bit neg dst *)
+  | D_neg32 of int
+  | D_alu of Insn.alu_op * int * dsrc   (* 64-bit *)
+  | D_alu32 of Insn.alu_op * int * dsrc
+  | D_endian of bool * int * int        (* swap, bits, dst *)
+  | D_ld64 of int * int64
+  | D_ld64_unresolved
+  | D_ldx of { size : int; dst : int; src : int; off : int; handled : bool }
+  | D_st of { size : int; dst : int; off : int; imm : int64 }
+  | D_stx of { size : int; dst : int; src : int; off : int }
+  | D_atomic of { size : int; w32 : bool; aop : Insn.atomic_op;
+                  fetch : bool; dst : int; src : int; off : int }
+  | D_ja of int                         (* absolute target *)
+  | D_jmp of { op32 : bool; cond : Insn.cond; dst : int; src : dsrc;
+               target : int }
+  | D_asan of Helper.t                  (* internal sanitizer call *)
+  | D_helper of { h : Helper.t; tps : Tracepoint.t list }
+  | D_helper_unknown of int
+  | D_kfunc of Helper.kfunc
+  | D_kfunc_unknown of int
+  | D_local of int                      (* bpf2bpf target, absolute *)
+  | D_exit
+
+let decode_insn (aux : Venv.aux array) (pc : int) (insn : Insn.t) : dop =
+  let ri = Insn.reg_to_int in
+  match insn with
+  | Insn.Alu { op64; op = Insn.Neg; dst; _ } ->
+    if op64 then D_neg (ri dst) else D_neg32 (ri dst)
+  | Insn.Alu { op64; op; dst; src } ->
+    let s =
+      match src with
+      | Insn.Imm i -> D_imm (Int64.of_int32 i)
+      | Insn.Reg r -> D_reg (ri r)
+    in
+    if op64 then D_alu (op, ri dst, s) else D_alu32 (op, ri dst, s)
+  | Insn.Endian { swap; bits; dst } -> D_endian (swap, bits, ri dst)
+  | Insn.Ld_imm64 (dst, Insn.Const v) -> D_ld64 (ri dst, v)
+  | Insn.Ld_imm64 (_, _) -> D_ld64_unresolved
+  | Insn.Ldx { sz; dst; src; off } ->
+    D_ldx { size = Insn.size_bytes sz; dst = ri dst; src = ri src; off;
+            handled = aux.(pc).Venv.exception_handled }
+  | Insn.St { sz; dst; off; imm } ->
+    D_st { size = Insn.size_bytes sz; dst = ri dst; off;
+           imm = Int64.of_int32 imm }
+  | Insn.Stx { sz; dst; src; off } ->
+    D_stx { size = Insn.size_bytes sz; dst = ri dst; src = ri src; off }
+  | Insn.Atomic { sz; op; fetch; dst; src; off } ->
+    D_atomic { size = Insn.size_bytes sz; w32 = (sz = Insn.W); aop = op;
+               fetch; dst = ri dst; src = ri src; off }
+  | Insn.Ja off -> D_ja (pc + 1 + off)
+  | Insn.Jmp { op32; cond; dst; src; off } ->
+    let s =
+      match src with
+      | Insn.Imm i -> D_imm (Int64.of_int32 i)
+      | Insn.Reg r -> D_reg (ri r)
+    in
+    D_jmp { op32; cond; dst = ri dst; src = s; target = pc + 1 + off }
+  | Insn.Call (Insn.Helper id) -> begin
+      match Helper.find id with
+      | None -> D_helper_unknown id
+      | Some h when h.Helper.internal -> D_asan h
+      | Some h ->
+        D_helper { h; tps = Tracepoint.fired_by_helper h.Helper.name }
+    end
+  | Insn.Call (Insn.Kfunc id) -> begin
+      match Helper.find_kfunc id with
+      | None -> D_kfunc_unknown id
+      | Some kf -> D_kfunc kf
+    end
+  | Insn.Call (Insn.Local off) -> D_local (pc + 1 + off)
+  | Insn.Exit -> D_exit
+
+let decode (prog : Verifier.loaded) : dop array =
+  Array.mapi (decode_insn prog.Verifier.l_aux) prog.Verifier.l_insns
+
+(* Per-domain decode cache keyed by physical equality of the loaded
+   program.  A few entries, most-recently-used first: within one
+   execution a parent program and the programs attached to its events
+   alternate, so a single slot would thrash. *)
+let decode_cache_cap = 8
+
+let decode_cache : (Verifier.loaded * dop array) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let decoded (prog : Verifier.loaded) : dop array =
+  let cache = Domain.DLS.get decode_cache in
+  match List.find_opt (fun (p, _) -> p == prog) !cache with
+  | Some (_, dops) -> dops
+  | None ->
+    let dops = decode prog in
+    let keep = List.filteri (fun i _ -> i < decode_cache_cap - 1) !cache in
+    cache := (prog, dops) :: keep;
+    dops
+
 type env = {
   kst : Kstate.t;
   prog : Verifier.loaded;
@@ -74,6 +180,7 @@ type env = {
   (* witness oracle: escapes accumulate here, deduplicated by
      fingerprint, never through Kstate.report (which would abort) *)
   mutable witness_escapes : Report.t list;
+  mutable witness_count : int; (* = List.length witness_escapes *)
   witness_seen : (string, unit) Hashtbl.t;
 }
 
@@ -82,30 +189,34 @@ type env = {
 let max_witness_escapes = 16
 
 (* Check the concrete register file against the abstract states the
-   verifier recorded for this pc (R0..R10 of the innermost frame). *)
+   verifier recorded for this pc (R0..R10 of the innermost frame).
+   The recorded-escape count is a mutable int so the cap check is O(1),
+   and scanning stops as soon as the cap is reached. *)
 let check_witness (e : env) ~(pc : int) : unit =
-  match e.prog.Verifier.l_aux.(pc).Venv.witness with
-  | None -> () (* rewrite-emitted insn, or never analyzed *)
-  | Some doms ->
-    for i = 0 to 10 do
-      let v = e.regs.(i) in
-      if not (Bvf_verifier.Witness.contains doms.(i) v)
-         && List.length e.witness_escapes < max_witness_escapes
-      then begin
-        let r =
-          Report.make ~pc Report.Sanitizer
-            (Report.Witness_escape
-               { wreg = i; wvalue = v;
-                 wclaim = Bvf_verifier.Witness.describe doms.(i);
-                 wclass = Bvf_verifier.Witness.wclass doms.(i) })
-        in
-        let fp = Report.fingerprint r in
-        if not (Hashtbl.mem e.witness_seen fp) then begin
-          Hashtbl.replace e.witness_seen fp ();
-          e.witness_escapes <- r :: e.witness_escapes
-        end
-      end
-    done
+  if e.witness_count < max_witness_escapes then
+    match e.prog.Verifier.l_aux.(pc).Venv.witness with
+    | None -> () (* rewrite-emitted insn, or never analyzed *)
+    | Some doms ->
+      let i = ref 0 in
+      while !i <= 10 && e.witness_count < max_witness_escapes do
+        let v = e.regs.(!i) in
+        if not (Bvf_verifier.Witness.contains doms.(!i) v) then begin
+          let r =
+            Report.make ~pc Report.Sanitizer
+              (Report.Witness_escape
+                 { wreg = !i; wvalue = v;
+                   wclaim = Bvf_verifier.Witness.describe doms.(!i);
+                   wclass = Bvf_verifier.Witness.wclass doms.(!i) })
+          in
+          let fp = Report.fingerprint r in
+          if not (Hashtbl.mem e.witness_seen fp) then begin
+            Hashtbl.replace e.witness_seen fp ();
+            e.witness_escapes <- r :: e.witness_escapes;
+            e.witness_count <- e.witness_count + 1
+          end
+        end;
+        incr i
+      done
 
 let new_reports (e : env) : Report.t list =
   let all = Kstate.peek_reports e.kst in
@@ -116,16 +227,7 @@ let new_reports (e : env) : Report.t list =
     List.filteri (fun i _ -> i >= e.baseline_reports) all
 
 let has_new_report (e : env) : bool =
-  List.length (Kstate.peek_reports e.kst) > e.baseline_reports
-
-let reg (e : env) (r : Insn.reg) : int64 = e.regs.(Insn.reg_to_int r)
-let set (e : env) (r : Insn.reg) (v : int64) : unit =
-  e.regs.(Insn.reg_to_int r) <- v
-
-let src_value (e : env) (s : Insn.src) : int64 =
-  match s with
-  | Insn.Imm i -> Int64.of_int32 i
-  | Insn.Reg r -> reg e r
+  Kstate.report_count e.kst > e.baseline_reports
 
 let alu64 (op : Insn.alu_op) (d : int64) (s : int64) : int64 =
   match op with
@@ -183,7 +285,7 @@ let eval_cond (op32 : bool) (cond : Insn.cond) (d : int64) (s : int64) :
    All registers except R0's return value are preserved (the paper's
    extended-stack backup); since these are R_void, everything holds. *)
 let exec_asan (e : env) ~(pc : int) (h : Helper.t) : unit =
-  let addr = reg e Insn.R1 in
+  let addr = e.regs.(1) in
   let code = h.Helper.id - Helper.asan_base in
   if code = 0x20 then
     (* bpf_asan_check_alu is only reached when the inline comparison
@@ -225,19 +327,17 @@ let ctx_field_at (e : env) (addr : int64) (size : int) :
     Prog.field_at (Prog.ctx_layout e.prog.Verifier.l_prog_type) ~off ~size
   else None
 
-let exec_load (e : env) ~(pc : int) ~(sz : Insn.size) ~(dst : Insn.reg)
-    ~(src : Insn.reg) ~(off : int) : bool =
-  let addr = Int64.add (reg e src) (Int64.of_int off) in
-  let size = Insn.size_bytes sz in
-  let aux = e.prog.Verifier.l_aux.(pc) in
+let exec_load (e : env) ~(pc : int) ~(size : int) ~(dst : int)
+    ~(src : int) ~(off : int) ~(handled : bool) : bool =
+  let addr = Int64.add e.regs.(src) (Int64.of_int off) in
   (* ctx packet-pointer fields materialize real pointers *)
   match ctx_field_at e addr size with
   | Some { Prog.fkind = Prog.Fk_pkt_data; _ } ->
-    set e dst
+    e.regs.(dst) <-
       (match e.pkt_region with Some p -> p.Kmem.base | None -> 0L);
     true
   | Some { Prog.fkind = Prog.Fk_pkt_end; _ } ->
-    set e dst
+    e.regs.(dst) <-
       (match e.pkt_region with
        | Some p -> Int64.add p.Kmem.base (Int64.of_int p.Kmem.size)
        | None -> 0L);
@@ -245,12 +345,12 @@ let exec_load (e : env) ~(pc : int) ~(sz : Insn.size) ~(dst : Insn.reg)
   | _ -> begin
       match Kmem.raw_load e.kst.Kstate.mem ~addr ~size with
       | Ok v ->
-        set e dst v;
+        e.regs.(dst) <- v;
         true
       | Error fault ->
-        if aux.Venv.exception_handled then begin
+        if handled then begin
           (* BTF probe-read semantics: fault yields zero, no report *)
-          set e dst 0L;
+          e.regs.(dst) <- 0L;
           true
         end
         else begin
@@ -260,10 +360,9 @@ let exec_load (e : env) ~(pc : int) ~(sz : Insn.size) ~(dst : Insn.reg)
         end
     end
 
-let exec_store (e : env) ~(pc : int) ~(sz : Insn.size) ~(addr_reg : Insn.reg)
+let exec_store (e : env) ~(pc : int) ~(size : int) ~(addr_reg : int)
     ~(off : int) (v : int64) : bool =
-  let addr = Int64.add (reg e addr_reg) (Int64.of_int off) in
-  let size = Insn.size_bytes sz in
+  let addr = Int64.add e.regs.(addr_reg) (Int64.of_int off) in
   match Kmem.raw_store e.kst.Kstate.mem ~addr ~size v with
   | Ok () -> true
   | Error fault ->
@@ -271,138 +370,74 @@ let exec_store (e : env) ~(pc : int) ~(sz : Insn.size) ~(addr_reg : Insn.reg)
       (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
     false
 
-let exec_atomic (e : env) ~(pc : int) (a : Insn.t) : bool =
-  match a with
-  | Insn.Atomic { sz; op; fetch; dst; src; off } ->
-    let addr = Int64.add (reg e dst) (Int64.of_int off) in
-    let size = Insn.size_bytes sz in
-    let mem = e.kst.Kstate.mem in
-    (match Kmem.raw_load mem ~addr ~size with
+let exec_atomic (e : env) ~(pc : int) ~(size : int) ~(w32 : bool)
+    ~(aop : Insn.atomic_op) ~(fetch : bool) ~(dst : int) ~(src : int)
+    ~(off : int) : bool =
+  let addr = Int64.add e.regs.(dst) (Int64.of_int off) in
+  let mem = e.kst.Kstate.mem in
+  match Kmem.raw_load mem ~addr ~size with
+  | Error fault ->
+    Kstate.report e.kst
+      (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
+    false
+  | Ok old ->
+    let operand = e.regs.(src) in
+    let updated =
+      match aop with
+      | Insn.A_add -> Int64.add old operand
+      | Insn.A_or -> Int64.logor old operand
+      | Insn.A_and -> Int64.logand old operand
+      | Insn.A_xor -> Int64.logxor old operand
+      | Insn.A_xchg -> operand
+      | Insn.A_cmpxchg -> if old = e.regs.(0) then operand else old
+    in
+    let updated = if w32 then Word.to_u32 updated else updated in
+    (match Kmem.raw_store mem ~addr ~size updated with
      | Error fault ->
        Kstate.report e.kst
          (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
        false
-     | Ok old ->
-       let operand = reg e src in
-       let updated =
-         match op with
-         | Insn.A_add -> Int64.add old operand
-         | Insn.A_or -> Int64.logor old operand
-         | Insn.A_and -> Int64.logand old operand
-         | Insn.A_xor -> Int64.logxor old operand
-         | Insn.A_xchg -> operand
-         | Insn.A_cmpxchg ->
-           if old = reg e Insn.R0 then operand else old
-       in
-       let updated =
-         if sz = Insn.W then Word.to_u32 updated else updated
-       in
-       (match Kmem.raw_store mem ~addr ~size updated with
-        | Error fault ->
-          Kstate.report e.kst
-            (Report.make ~pc Report.Bpf_native (Report.Mem_fault fault));
-          false
-        | Ok () ->
-          if op = Insn.A_cmpxchg then set e Insn.R0 old
-          else if fetch then set e src old;
-          true))
-  | _ -> invalid_arg "exec_atomic"
+     | Ok () ->
+       if aop = Insn.A_cmpxchg then e.regs.(0) <- old
+       else if fetch then e.regs.(src) <- old;
+       true)
 
-let exec_call (e : env) ~(pc : int) (target : Insn.call_target) :
-  [ `Continue | `Stop | `Enter of int | `Env of string ] =
-  match target with
-  | Insn.Helper id -> begin
-      match Helper.find id with
-      | None ->
-        Kstate.report e.kst
-          (Report.make ~pc (Report.Kernel_routine "bpf_call")
-             (Report.Warn (Printf.sprintf "call to unknown helper %d" id)));
-        `Stop
-      | Some h when h.Helper.internal ->
-        exec_asan e ~pc h;
-        if has_new_report e then `Stop else `Continue
-      | Some h ->
-        (* helpers fire their kprobe attach points *)
-        List.iter
-          (fun tp -> e.run_attached tp.Tracepoint.tp_name)
-          (Tracepoint.fired_by_helper h.Helper.name);
-        if has_new_report e then `Stop
-        else begin
-          let args = Array.init 5 (fun i -> e.regs.(i + 1)) in
-          let r0 = Helpers_impl.call e.kst e.henv ~pc h args in
-          set e Insn.R0 r0;
-          (* caller-saved clobber: deterministic poison *)
-          for i = 1 to 5 do
-            e.regs.(i) <- 0xDEAD_BEEF_0000_0000L
-          done;
-          if has_new_report e then `Stop else `Continue
-        end
-    end
-  | Insn.Kfunc id -> begin
-      match Helper.find_kfunc id with
-      | None ->
-        Kstate.report e.kst
-          (Report.make ~pc (Report.Kernel_routine "bpf_kfunc")
-             (Report.Warn (Printf.sprintf "unknown kfunc %d" id)));
-        `Stop
-      | Some kf ->
-        let args = Array.init 5 (fun i -> e.regs.(i + 1)) in
-        set e Insn.R0 (Helpers_impl.call_kfunc e.kst ~pc kf args);
-        for i = 1 to 5 do
-          e.regs.(i) <- 0xDEAD_BEEF_0000_0000L
-        done;
-        if has_new_report e then `Stop else `Continue
-    end
-  | Insn.Local off ->
-    (* save callee-saved registers and the frame pointer, switch to a
-       fresh stack.  The frame allocation can fail under fault
-       injection: a clean environment error, not a bug. *)
-    if
-      Bvf_kernel.Failslab.should_fail e.kst.Kstate.failslab
-        ~site:"bpf2bpf_stack"
-    then `Env "ENOMEM: bpf2bpf stack frame allocation failed"
-    else begin
-      let saved = Array.init 5 (fun i -> e.regs.(i + 6)) in
-      let stack =
-        Kmem.alloc e.kst.Kstate.mem
-          ~kind:(Kmem.Stack (List.length e.call_stack + 1))
-          ~size:Prog.stack_size
-      in
-      e.call_stack <- (pc + 1, saved, stack) :: e.call_stack;
-      e.regs.(10) <-
-        Int64.add stack.Kmem.base (Int64.of_int Prog.stack_size);
-      `Enter (pc + 1 + off)
-    end
+(* caller-saved clobber after helper/kfunc calls: deterministic poison *)
+let poison = 0xDEAD_BEEF_0000_0000L
 
-(* Run the program to completion. *)
-let run_loop (e : env) : status =
-  let insns = e.prog.Verifier.l_insns in
+(* Run the program to completion over its decoded op table. *)
+let run_loop (e : env) (dops : dop array) : status =
+  let n = Array.length dops in
+  let regs = e.regs in
+  let witness_on = e.kst.Kstate.config.Kconfig.witness in
   let rec step () : status =
     if e.fuel <= 0 then begin
       Kstate.report e.kst
         (Report.make ~pc:e.pc Report.Bpf_native Report.Runaway_execution);
       Aborted
     end
-    else if e.pc < 0 || e.pc >= Array.length insns then
+    else if e.pc < 0 || e.pc >= n then
       Error (Printf.sprintf "pc %d out of range" e.pc)
     else begin
       e.fuel <- e.fuel - 1;
       let pc = e.pc in
-      check_witness e ~pc;
-      match insns.(pc) with
-      | Insn.Alu { op64; op = Insn.Neg; dst; _ } ->
-        set e dst
-          (if op64 then Int64.neg (reg e dst)
-           else Word.to_u32 (Int64.neg (Word.to_u32 (reg e dst))));
+      if witness_on then check_witness e ~pc;
+      match Array.unsafe_get dops pc with
+      | D_alu (op, dst, src) ->
+        regs.(dst) <- alu64 op regs.(dst) (dval src);
         advance ()
-      | Insn.Alu { op64; op; dst; src } ->
-        let s = src_value e src in
-        set e dst
-          (if op64 then alu64 op (reg e dst) s else alu32 op (reg e dst) s);
+      | D_alu32 (op, dst, src) ->
+        regs.(dst) <- alu32 op regs.(dst) (dval src);
         advance ()
-      | Insn.Endian { swap; bits; dst } ->
-        let v = reg e dst in
-        set e dst
+      | D_neg dst ->
+        regs.(dst) <- Int64.neg regs.(dst);
+        advance ()
+      | D_neg32 dst ->
+        regs.(dst) <- Word.to_u32 (Int64.neg (Word.to_u32 regs.(dst)));
+        advance ()
+      | D_endian (swap, bits, dst) ->
+        let v = regs.(dst) in
+        regs.(dst) <-
           (if not swap then Word.zext bits v
            else
              match bits with
@@ -410,52 +445,96 @@ let run_loop (e : env) : status =
              | 32 -> Word.bswap32 v
              | _ -> Word.bswap64 v);
         advance ()
-      | Insn.Ld_imm64 (dst, Insn.Const v) ->
-        set e dst v;
+      | D_ld64 (dst, v) ->
+        regs.(dst) <- v;
         advance ()
-      | Insn.Ld_imm64 (_, _) ->
+      | D_ld64_unresolved ->
         Error "unresolved ld_imm64 pseudo (program not fixed up)"
-      | Insn.Ldx { sz; dst; src; off } ->
-        if exec_load e ~pc ~sz ~dst ~src ~off then advance () else Aborted
-      | Insn.St { sz; dst; off; imm } ->
-        if exec_store e ~pc ~sz ~addr_reg:dst ~off (Int64.of_int32 imm)
-        then advance ()
+      | D_ldx { size; dst; src; off; handled } ->
+        if exec_load e ~pc ~size ~dst ~src ~off ~handled then advance ()
         else Aborted
-      | Insn.Stx { sz; dst; src; off } ->
-        if exec_store e ~pc ~sz ~addr_reg:dst ~off (reg e src) then
+      | D_st { size; dst; off; imm } ->
+        if exec_store e ~pc ~size ~addr_reg:dst ~off imm then advance ()
+        else Aborted
+      | D_stx { size; dst; src; off } ->
+        if exec_store e ~pc ~size ~addr_reg:dst ~off regs.(src) then
           advance ()
         else Aborted
-      | Insn.Atomic _ as a ->
-        if exec_atomic e ~pc a then advance () else Aborted
-      | Insn.Ja off ->
-        e.pc <- pc + 1 + off;
+      | D_atomic { size; w32; aop; fetch; dst; src; off } ->
+        if exec_atomic e ~pc ~size ~w32 ~aop ~fetch ~dst ~src ~off then
+          advance ()
+        else Aborted
+      | D_ja target ->
+        e.pc <- target;
         step ()
-      | Insn.Jmp { op32; cond; dst; src; off } ->
+      | D_jmp { op32; cond; dst; src; target } ->
         e.pc <-
-          (if eval_cond op32 cond (reg e dst) (src_value e src) then
-             pc + 1 + off
+          (if eval_cond op32 cond regs.(dst) (dval src) then target
            else pc + 1);
         step ()
-      | Insn.Call target -> begin
-          match exec_call e ~pc target with
-          | `Continue -> advance ()
-          | `Stop -> Aborted
-          | `Env msg -> Error msg
-          | `Enter target_pc ->
-            e.pc <- target_pc;
-            step ()
+      | D_asan h ->
+        exec_asan e ~pc h;
+        if has_new_report e then Aborted else advance ()
+      | D_helper { h; tps } ->
+        (* helpers fire their kprobe attach points *)
+        List.iter (fun tp -> e.run_attached tp.Tracepoint.tp_name) tps;
+        if has_new_report e then Aborted
+        else begin
+          let args = Array.init 5 (fun i -> regs.(i + 1)) in
+          let r0 = Helpers_impl.call e.kst e.henv ~pc h args in
+          regs.(0) <- r0;
+          for i = 1 to 5 do regs.(i) <- poison done;
+          if has_new_report e then Aborted else advance ()
         end
-      | Insn.Exit -> begin
+      | D_helper_unknown id ->
+        Kstate.report e.kst
+          (Report.make ~pc (Report.Kernel_routine "bpf_call")
+             (Report.Warn (Printf.sprintf "call to unknown helper %d" id)));
+        Aborted
+      | D_kfunc kf ->
+        let args = Array.init 5 (fun i -> regs.(i + 1)) in
+        regs.(0) <- Helpers_impl.call_kfunc e.kst ~pc kf args;
+        for i = 1 to 5 do regs.(i) <- poison done;
+        if has_new_report e then Aborted else advance ()
+      | D_kfunc_unknown id ->
+        Kstate.report e.kst
+          (Report.make ~pc (Report.Kernel_routine "bpf_kfunc")
+             (Report.Warn (Printf.sprintf "unknown kfunc %d" id)));
+        Aborted
+      | D_local target ->
+        (* save callee-saved registers and the frame pointer, switch to
+           a fresh stack.  The frame allocation can fail under fault
+           injection: a clean environment error, not a bug. *)
+        if
+          Bvf_kernel.Failslab.should_fail e.kst.Kstate.failslab
+            ~site:"bpf2bpf_stack"
+        then Error "ENOMEM: bpf2bpf stack frame allocation failed"
+        else begin
+          let saved = Array.init 5 (fun i -> regs.(i + 6)) in
+          let stack =
+            Kmem.alloc e.kst.Kstate.mem
+              ~kind:(Kmem.Stack (List.length e.call_stack + 1))
+              ~size:Prog.stack_size
+          in
+          e.call_stack <- (pc + 1, saved, stack) :: e.call_stack;
+          regs.(10) <-
+            Int64.add stack.Kmem.base (Int64.of_int Prog.stack_size);
+          e.pc <- target;
+          step ()
+        end
+      | D_exit -> begin
           match e.call_stack with
-          | [] -> Finished (reg e Insn.R0)
+          | [] -> Finished regs.(0)
           | (ret_pc, saved, stack) :: rest ->
             e.call_stack <- rest;
-            Array.iteri (fun i v -> e.regs.(i + 6) <- v) saved;
+            Array.iteri (fun i v -> regs.(i + 6) <- v) saved;
             Kmem.free e.kst.Kstate.mem stack;
             e.pc <- ret_pc;
             step ()
         end
     end
+  and dval (s : dsrc) : int64 =
+    match s with D_imm v -> v | D_reg r -> regs.(r)
   and advance () =
     e.pc <- e.pc + 1;
     step ()
@@ -485,7 +564,7 @@ let run (kst : Kstate.t) ~(run_attached : string -> unit)
         insns_executed = 0; reports = []; witness = [] }
   end
   else begin
-    let baseline = List.length (Kstate.peek_reports kst) in
+    let baseline = Kstate.report_count kst in
     let mem = kst.Kstate.mem in
     let layout = Prog.ctx_layout prog.Verifier.l_prog_type in
     (* per-run scratch: any allocation may fail under fault injection,
@@ -540,11 +619,12 @@ let run (kst : Kstate.t) ~(run_attached : string -> unit)
         baseline_reports = baseline;
         run_attached;
         witness_escapes = [];
+        witness_count = 0;
         witness_seen = Hashtbl.create 4;
       }
     in
     kst.Kstate.prog_depth <- kst.Kstate.prog_depth + 1;
-    let status = run_loop e in
+    let status = run_loop e (decoded prog) in
     kst.Kstate.prog_depth <- kst.Kstate.prog_depth - 1;
     (* free leftover bpf2bpf stacks; return the scratch regions *)
     List.iter (fun (_, _, s) -> Kmem.free mem s) e.call_stack;

@@ -95,7 +95,7 @@ let detach_all (t : t) : unit =
    (the Bug#7 window), tracing programs are triggered via their attach
    point, everything else runs directly. *)
 let execute (t : t) (prog : Verifier.loaded) : Exec.result =
-  let baseline = List.length (Kstate.peek_reports t.kst) in
+  let baseline = Kstate.report_count t.kst in
   if prog.Verifier.l_prog_type = Prog.Xdp
      && not prog.Verifier.l_offload then begin
     match Dispatcher.dispatch t.kst.Kstate.dispatcher with
@@ -135,7 +135,7 @@ let execute (t : t) (prog : Verifier.loaded) : Exec.result =
 
 (* The complete cycle the fuzzer performs for each generated input. *)
 let load_and_run ?log_level (t : t) (req : Verifier.request) : run_result =
-  let baseline = List.length (Kstate.peek_reports t.kst) in
+  let baseline = Kstate.report_count t.kst in
   let t_load = Bvf_util.Mclock.now_s () in
   let verdict, vlog, vstats =
     Verifier.load_with_stats t.kst ~cov:t.cov ?log_level req

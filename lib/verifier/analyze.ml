@@ -126,13 +126,14 @@ let push_frame (env : Venv.t) ~(pc : int) ~(target : int) : int =
   Venv.cov env "call:local" ~v:(Vstate.frame_count st);
   let caller = Vstate.cur_frame st in
   let callee =
-    Vstate.new_frame ~frameno:(Vstate.frame_count st) ~callsite:(pc + 1)
+    Vstate.alloc_frame env.Venv.pool ~frameno:(Vstate.frame_count st)
+      ~callsite:(pc + 1)
   in
   (* R1-R5 are passed; everything else starts uninitialized *)
   for i = 1 to 5 do
     callee.Vstate.regs.(i) <- caller.Vstate.regs.(i)
   done;
-  st.Vstate.frames <- st.Vstate.frames @ [ callee ];
+  Vstate.push_top_frame st callee;
   target
 
 (* Pop the current frame at EXIT; returns the resume pc. *)
@@ -142,14 +143,18 @@ let pop_frame (env : Venv.t) ~(pc : int) : int =
   let r0 = callee.Vstate.regs.(0) in
   if not (Regstate.is_init r0) then
     Venv.reject env ~pc Venv.EACCES "R0 !read_ok at subprogram exit";
-  st.Vstate.frames <-
-    List.filter (fun f -> f != callee) st.Vstate.frames;
+  let popped = Vstate.pop_top_frame st in
+  (* the top frame IS the callee — popping anything else would mean the
+     frame stack and the current frame disagree *)
+  assert (popped == callee);
   let caller = Vstate.cur_frame st in
   caller.Vstate.regs.(0) <- r0;
   for i = 1 to 5 do
     caller.Vstate.regs.(i) <- Regstate.not_init
   done;
-  callee.Vstate.callsite
+  let resume = popped.Vstate.callsite in
+  Vstate.release_frame env.Venv.pool popped;
+  resume
 
 (* Main-program EXIT: return-range, reference and lock discipline. *)
 let check_main_exit (env : Venv.t) ~(pc : int) : unit =
@@ -187,10 +192,22 @@ let maybe_prune (env : Venv.t) ~(pc : int)
     let stored =
       Option.value (Hashtbl.find_opt env.Venv.explored pc) ~default:[]
     in
+    (* cheap necessary-condition signatures front the linear scan: most
+       stored states are dismissed on an integer compare instead of a
+       full states_equal walk *)
+    let psig = Vstate.state_sig env.Venv.st in
+    let pfsig = Vstate.frame_sigs_probe env.Venv.st in
     match
       List.find_opt
         (fun (e : Venv.explored_entry) ->
-           Vstate.states_equal ~old:e.Venv.e_state ~cur:env.Venv.st ~bug3)
+           if e.Venv.e_sig = psig
+              && Vstate.sigs_compatible ~stored:e.Venv.e_fsig ~probe:pfsig
+           then
+             Vstate.states_equal ~old:e.Venv.e_state ~cur:env.Venv.st ~bug3
+           else begin
+             Vstats.prune_hash_skip env.Venv.vst;
+             false
+           end)
         stored
     with
     | Some e when e.Venv.e_branches > 0 ->
@@ -213,8 +230,10 @@ let maybe_prune (env : Venv.t) ~(pc : int)
     | None ->
       Vstats.prune_miss env.Venv.vst;
       if List.length stored < Venv.max_explored_per_insn then begin
+        let snapshot = Vstate.copy ~pool:env.Venv.pool env.Venv.st in
         let e =
-          { Venv.e_state = Vstate.copy env.Venv.st; e_branches = 1 }
+          { Venv.e_state = snapshot; e_branches = 1; e_sig = psig;
+            e_fsig = Vstate.frame_sigs_stored snapshot }
         in
         Hashtbl.replace env.Venv.explored pc (e :: stored);
         env.Venv.ancestors <- e :: env.Venv.ancestors;
@@ -269,7 +288,11 @@ let run (env : Venv.t) : unit =
         env.Venv.insn_processed;
     if pc < 0 || pc >= Array.length insns then
       Venv.reject env ~pc Venv.EINVAL "invalid program counter %d" pc;
-    if maybe_prune env ~pc targets then next_path ()
+    if maybe_prune env ~pc targets then begin
+      (* the pruned path's state is uniquely owned here: recycle it *)
+      Vstate.release env.Venv.pool env.Venv.st;
+      next_path ()
+    end
     else begin
       env.Venv.aux.(pc).Venv.seen <- true;
       (* soundness sanitizer hooks: record the abstract register file
@@ -288,7 +311,7 @@ let run (env : Venv.t) : unit =
       if env.Venv.config.Kconfig.lint then
         Venv.record_lint env (Invariants.check_state ~pc env.Venv.st);
       Venv.log_state env;
-      Venv.logf env "%d: %s\n" pc (Insn.to_string insns.(pc));
+      Venv.log_insn env ~pc insns.(pc);
       match insns.(pc) with
       | Insn.Alu { op64; op; dst; src } ->
         Check_alu.check env ~pc ~op64 op dst src;
@@ -306,12 +329,19 @@ let run (env : Venv.t) : unit =
           Check_mem.check env ~pc ~access:Check_mem.Aread ~addr_reg:src
             ~off ~size ()
         in
-        (* narrow loads zero-extend: the result fits the access width *)
+        (* narrow loads zero-extend: the result fits the access width.
+           A known constant truncates exactly ([c land mask]); skipping
+           it — the pre-fix behavior Bug12 re-creates — would keep a
+           stale full-width constant the concrete execution escapes. *)
         let v =
-          if size < 8 && Regstate.is_scalar v && not (Regstate.is_const v)
-          then
-            Regstate.scalar_range ~umin:0L
-              ~umax:(Int64.sub (Int64.shift_left 1L (size * 8)) 1L)
+          if size < 8 && Regstate.is_scalar v then begin
+            let mask = Int64.sub (Int64.shift_left 1L (size * 8)) 1L in
+            match Regstate.const_value v with
+            | Some c ->
+              if Venv.has_bug env Kconfig.Bug12_narrow_load_const then v
+              else Regstate.const_scalar (Int64.logand c mask)
+            | None -> Regstate.scalar_range ~umin:0L ~umax:mask
+          end
           else v
         in
         Venv.set_reg env dst v;
@@ -380,6 +410,8 @@ let run (env : Venv.t) : unit =
         else begin
           check_main_exit env ~pc;
           Venv.cov env "exit:ok";
+          (* finished path: its state is uniquely owned — recycle it *)
+          Vstate.release env.Venv.pool env.Venv.st;
           next_path ()
         end
     end

@@ -36,15 +36,7 @@ let check_helper_mem (env : Venv.t) ~(pc : int) ~(argno : int)
             if not (Tnum.is_const r.var_off) then
               Venv.reject env ~pc Venv.EACCES
                 "R%d variable stack pointer to helper" argno;
-            let frame =
-              match
-                List.find_opt
-                  (fun f -> f.Vstate.frameno = fno)
-                  env.Venv.st.Vstate.frames
-              with
-              | Some f -> f
-              | None -> Vstate.cur_frame env.Venv.st
-            in
+            let frame = Vstate.find_frame env.Venv.st fno in
             let off = r.off in
             if off + size > 0 || off < -Prog.stack_size then
               Venv.reject env ~pc Venv.EACCES
@@ -261,7 +253,7 @@ let check_helper (env : Venv.t) ~(pc : int) (id : int) : unit =
          st.Vstate.refs <-
            List.filter (fun r -> r <> ref_id) st.Vstate.refs;
          (* invalidate every copy of the released pointer *)
-         List.iter
+         Vstate.iter_frames st
            (fun fr ->
               Array.iteri
                 (fun i r ->
@@ -270,7 +262,6 @@ let check_helper (env : Venv.t) ~(pc : int) (id : int) : unit =
                      fr.Vstate.regs.(i) <- Regstate.not_init
                    | _ -> ())
                 fr.Vstate.regs)
-           st.Vstate.frames
        | _ ->
          Venv.reject env ~pc Venv.EINVAL
            "R1 must be a reserved ringbuf record"

@@ -320,11 +320,12 @@ let check (env : Venv.t) ~(pc : int) ~(op32 : bool) (cond : Insn.cond)
     when p.maybe_null && (cond = Insn.Jeq || cond = Insn.Jne)
          && not op32 ->
     Venv.cov env "jmp:null_check";
-    let null_branch = Vstate.copy cur and nn_branch = Vstate.copy cur in
-    mark_ptr_or_null null_branch ~id:p.id ~null:true;
+    (* one pooled copy: [cur] itself becomes the null branch *)
+    let nn_branch = Vstate.copy ~pool:env.Venv.pool cur in
+    mark_ptr_or_null cur ~id:p.id ~null:true;
     mark_ptr_or_null nn_branch ~id:p.id ~null:false;
-    if cond = Insn.Jeq then Both (null_branch, nn_branch)
-    else Both (nn_branch, null_branch)
+    if cond = Insn.Jeq then Both (cur, nn_branch)
+    else Both (nn_branch, cur)
   | _ ->
     (* pointer-vs-pointer and pointer-vs-scalar semantics *)
     let d_is_ptr = Regstate.is_pointer d in
@@ -344,25 +345,25 @@ let check (env : Venv.t) ~(pc : int) ~(op32 : bool) (cond : Insn.cond)
           match cond with
           | Insn.Jeq -> Fall_only cur
           | Insn.Jne -> Taken_only cur
-          | _ -> Both (Vstate.copy cur, cur)
+          | _ -> Both (Vstate.copy ~pool:env.Venv.pool cur, cur)
         end
       | _ -> begin
           match pkt_end_cmp cond d s_state with
           | Some (pkt, lte_in_true) ->
-            let taken = Vstate.copy cur and fall = Vstate.copy cur in
-            update_pkt_range env (if lte_in_true then taken else fall) pkt;
-            Both (taken, fall)
+            let taken = Vstate.copy ~pool:env.Venv.pool cur in
+            update_pkt_range env (if lte_in_true then taken else cur) pkt;
+            Both (taken, cur)
           | None ->
             if (cond = Insn.Jeq || cond = Insn.Jne) && d_is_ptr && s_is_ptr
             then begin
               (* reg-to-reg equality: nullness propagation (Bug#1) *)
-              let taken = Vstate.copy cur and fall = Vstate.copy cur in
-              let equal_branch = if cond = Insn.Jeq then taken else fall in
+              let taken = Vstate.copy ~pool:env.Venv.pool cur in
+              let equal_branch = if cond = Insn.Jeq then taken else cur in
               propagate_nullness env equal_branch d s_state;
               propagate_nullness env equal_branch s_state d;
-              Both (taken, fall)
+              Both (taken, cur)
             end
-            else Both (Vstate.copy cur, cur)
+            else Both (Vstate.copy ~pool:env.Venv.pool cur, cur)
         end
     end
     else begin
@@ -390,14 +391,15 @@ let check (env : Venv.t) ~(pc : int) ~(op32 : bool) (cond : Insn.cond)
                 | Insn.Jge -> 3 | Insn.Jlt -> 4 | Insn.Jle -> 5
                 | Insn.Jsgt -> 6 | Insn.Jsge -> 7 | Insn.Jslt -> 8
                 | Insn.Jsle -> 9 | Insn.Jset -> 10);
-        let taken_st = Vstate.copy cur and fall_st = cur in
+        (* only copy when BOTH branches survive the refinement *)
         (match refine_width ~op32 ~neg:false cond d s_state,
                refine_width ~op32 ~neg:true cond d s_state with
          | Some (td, ts), Some (fd, fs) ->
-           Both (apply taken_st td ts, apply fall_st fd fs)
-         | Some (td, ts), None -> Taken_only (apply taken_st td ts)
-         | None, Some (fd, fs) -> Fall_only (apply fall_st fd fs)
+           let taken_st = Vstate.copy ~pool:env.Venv.pool cur in
+           Both (apply taken_st td ts, apply cur fd fs)
+         | Some (td, ts), None -> Taken_only (apply cur td ts)
+         | None, Some (fd, fs) -> Fall_only (apply cur fd fs)
          | None, None ->
            (* both contradictory: bounds were already inconsistent *)
-           Fall_only fall_st)
+           Fall_only cur)
     end

@@ -151,12 +151,7 @@ let check_stack (env : Venv.t) ~(pc : int) (r : t) ~(off : int)
       | Ptr { pk = P_stack fno; _ } -> fno
       | _ -> 0
     in
-    match List.find_opt
-            (fun f -> f.Vstate.frameno = fno)
-            env.Venv.st.Vstate.frames
-    with
-    | Some f -> f
-    | None -> Vstate.cur_frame env.Venv.st
+    Vstate.find_frame env.Venv.st fno
   in
   match access with
   | Awrite ->

@@ -5,47 +5,106 @@
    register type a check dispatched on), mirroring how kcov assigns an
    edge id per basic block.  A campaign keeps one global [t] and asks
    each verification run for the set of new edges — the fuzzer's
-   feedback signal and the metric of Table 3 / Figure 6. *)
+   feedback signal and the metric of Table 3 / Figure 6.
+
+   Hit counts live in a flat array indexed by edge id, not a hashtable:
+   recording an edge is THE hottest operation in the whole analyzer
+   (several calls per simulated instruction), and an array bump is an
+   order of magnitude cheaper than hashing into a table twice.  Edge
+   ids are dense by construction ([site_id * variants_per_site +
+   variant]), so the array wastes little space. *)
 
 type t = {
   interner : (string, int) Hashtbl.t;
   mutable next_site : int;
-  edges : (int, int) Hashtbl.t; (* edge id -> hit count *)
+  mutable counts : int array; (* edge id -> hit count (0 = never hit) *)
+  mutable distinct : int;     (* number of non-zero entries in counts *)
+  memo_sites : string array;  (* direct-mapped memo over [interner]: *)
+  memo_ids : int array;       (* call sites pass literal strings, so a
+                                 pointer compare usually resolves the
+                                 site without hashing it *)
 }
 
-let create () =
-  { interner = Hashtbl.create 256; next_site = 0; edges = Hashtbl.create 1024 }
-
 let variants_per_site = 256
+let memo_slots = 32
+
+let create () =
+  { interner = Hashtbl.create 256; next_site = 0;
+    counts = Array.make (64 * variants_per_site) 0; distinct = 0;
+    memo_sites = Array.make memo_slots ""; memo_ids = Array.make memo_slots 0 }
+
+(* Keep [counts] large enough for every edge of every interned site;
+   growth is amortized over site interning, which is rare and cold. *)
+let ensure_capacity (t : t) : unit =
+  let need = t.next_site * variants_per_site in
+  if need > Array.length t.counts then begin
+    let cap = max need (2 * Array.length t.counts) in
+    let counts = Array.make cap 0 in
+    Array.blit t.counts 0 counts 0 (Array.length t.counts);
+    t.counts <- counts
+  end
+
+(* Cheap deterministic slot for the memo — must not walk the string. *)
+let memo_slot (site : string) : int =
+  let len = String.length site in
+  if len = 0 then 0
+  else
+    (len * 4 + Char.code (String.unsafe_get site 0)) land (memo_slots - 1)
 
 let site_id (t : t) (site : string) : int =
-  match Hashtbl.find_opt t.interner site with
-  | Some id -> id
-  | None ->
-    let id = t.next_site in
-    t.next_site <- id + 1;
-    Hashtbl.replace t.interner site id;
+  let slot = memo_slot site in
+  if Array.unsafe_get t.memo_sites slot == site then
+    Array.unsafe_get t.memo_ids slot
+  else begin
+    let id =
+      match Hashtbl.find_opt t.interner site with
+      | Some id -> id
+      | None ->
+        let id = t.next_site in
+        t.next_site <- id + 1;
+        Hashtbl.replace t.interner site id;
+        ensure_capacity t;
+        id
+    in
+    t.memo_sites.(slot) <- site;
+    t.memo_ids.(slot) <- id;
     id
+  end
 
 let edge_id (t : t) (site : string) (variant : int) : int =
   (site_id t site * variants_per_site) + (variant land (variants_per_site - 1))
 
 let record (t : t) (edge : int) : unit =
-  let n = Option.value (Hashtbl.find_opt t.edges edge) ~default:0 in
-  Hashtbl.replace t.edges edge (n + 1)
+  (* edges from [edge_id] always fit ([ensure_capacity]); foreign ids
+     (merge of another map's set) may not *)
+  if edge >= Array.length t.counts then begin
+    let cap = max (edge + 1) (2 * Array.length t.counts) in
+    let counts = Array.make cap 0 in
+    Array.blit t.counts 0 counts 0 (Array.length t.counts);
+    t.counts <- counts
+  end;
+  let n = Array.unsafe_get t.counts edge in
+  if n = 0 then t.distinct <- t.distinct + 1;
+  Array.unsafe_set t.counts edge (n + 1)
 
-let edge_count (t : t) : int = Hashtbl.length t.edges
+(* The one-call fast path the analysis loop uses. *)
+let hit (t : t) (site : string) (variant : int) : unit =
+  record t (edge_id t site variant)
+
+let edge_count (t : t) : int = t.distinct
 
 (* Merge a run's local edge set; returns how many edges were new. *)
 let merge (t : t) (local : (int, unit) Hashtbl.t) : int =
   Hashtbl.fold
     (fun edge () fresh ->
-       let was_new = not (Hashtbl.mem t.edges edge) in
+       let was_new = t.counts.(edge) = 0 in
        record t edge;
        if was_new then fresh + 1 else fresh)
     local 0
 
-let reset (t : t) : unit = Hashtbl.reset t.edges
+let reset (t : t) : unit =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.distinct <- 0
 
 (* -- Cross-map merging -------------------------------------------------- *)
 
@@ -57,23 +116,30 @@ let reset (t : t) : unit = Hashtbl.reset t.edges
 let named_edges (t : t) : ((string * int) * int) list =
   let names = Hashtbl.create (Hashtbl.length t.interner) in
   Hashtbl.iter (fun site id -> Hashtbl.replace names id site) t.interner;
-  Hashtbl.fold
-    (fun edge hits acc ->
-       let sid = edge / variants_per_site
-       and variant = edge mod variants_per_site in
-       match Hashtbl.find_opt names sid with
-       | Some site -> ((site, variant), hits) :: acc
-       | None -> acc (* unreachable: every recorded edge was interned *))
-    t.edges []
-  |> List.sort compare
+  let acc = ref [] in
+  for edge = Array.length t.counts - 1 downto 0 do
+    let hits = t.counts.(edge) in
+    if hits > 0 then begin
+      let sid = edge / variants_per_site
+      and variant = edge mod variants_per_site in
+      match Hashtbl.find_opt names sid with
+      | Some site -> acc := ((site, variant), hits) :: !acc
+      | None -> () (* unreachable: every recorded edge was interned *)
+    end
+  done;
+  List.sort compare !acc
 
 let absorb_named (t : t) (edges : ((string * int) * int) list) : int =
   List.fold_left
     (fun fresh ((site, variant), hits) ->
        let id = edge_id t site variant in
-       let seen = Option.value (Hashtbl.find_opt t.edges id) ~default:0 in
-       Hashtbl.replace t.edges id (seen + hits);
-       if seen = 0 then fresh + 1 else fresh)
+       let seen = t.counts.(id) in
+       t.counts.(id) <- seen + hits;
+       if seen = 0 then begin
+         t.distinct <- t.distinct + 1;
+         fresh + 1
+       end
+       else fresh)
     0 edges
 
 let union (ts : t list) : t =

@@ -8,7 +8,12 @@
 type t = {
   interner : (string, int) Hashtbl.t;
   mutable next_site : int;
-  edges : (int, int) Hashtbl.t; (** edge id -> hit count *)
+  mutable counts : int array;
+      (** edge id -> hit count, dense by construction (0 = never hit) *)
+  mutable distinct : int;  (** non-zero entries in [counts] *)
+  memo_sites : string array;
+      (** direct-mapped physical-equality memo over [interner] *)
+  memo_ids : int array;
 }
 
 val create : unit -> t
@@ -18,6 +23,10 @@ val variants_per_site : int
 val site_id : t -> string -> int
 val edge_id : t -> string -> int -> int
 val record : t -> int -> unit
+
+val hit : t -> string -> int -> unit
+(** [hit t site variant] = [record t (edge_id t site variant)] — the
+    one-call fast path the analysis loop uses. *)
 
 val edge_count : t -> int
 (** Distinct edges observed so far. *)

@@ -117,20 +117,22 @@ let check_state ~(pc : int) (st : Vstate.t) : violation list =
         v_reg = Regstate.to_string r; v_detail = detail }
       :: !out
   in
-  List.iter
+  Vstate.iter_frames st
     (fun (f : Vstate.frame) ->
        Array.iteri
          (fun i r ->
             let loc = Printf.sprintf "f%d:r%d" f.Vstate.frameno i in
             List.iter (emit loc r) (check_reg r))
          f.Vstate.regs;
-       Hashtbl.fold (fun slot r acc -> (slot, r) :: acc) f.Vstate.spills []
-       |> List.sort compare
-       |> List.iter (fun (slot, r) ->
-           let loc =
-             Printf.sprintf "f%d:fp[%d]" f.Vstate.frameno
-               (slot * 8 - Vstate.stack_bytes)
-           in
-           List.iter (emit loc r) (check_reg r)))
-    st.Vstate.frames;
+       Array.iteri
+         (fun slot spilled ->
+            match spilled with
+            | None -> ()
+            | Some r ->
+              let loc =
+                Printf.sprintf "f%d:fp[%d]" f.Vstate.frameno
+                  (slot * 8 - Vstate.stack_bytes)
+              in
+              List.iter (emit loc r) (check_reg r))
+         f.Vstate.spills);
   List.rev !out

@@ -44,6 +44,8 @@ let verr_make ?reason (errno : errno) ~(pc : int) (vmsg : string) : verr =
 type explored_entry = {
   e_state : Vstate.t;
   mutable e_branches : int; (* unfinished paths below this state *)
+  e_sig : int; (* Vstate.state_sig of e_state: cheap pre-filter *)
+  e_fsig : int array; (* per-frame stored-side signatures *)
 }
 
 type aux = {
@@ -72,6 +74,7 @@ type t = {
   attach : Tracepoint.t option;
   insns : Insn.t array;
   aux : aux array;
+  pool : Vstate.pool; (* recycled states/frames; dies with this load *)
   mutable st : Vstate.t;
   (* worklist of (pc, state, ancestors): the stored states the pending
      path runs under *)
@@ -88,7 +91,6 @@ type t = {
   mutable next_id : int;
   vlog : Vlog.t;
   cov : Coverage.t;
-  local_edges : (int, unit) Hashtbl.t;
   (* invariant-lint violations (newest first, capped), Kconfig.lint *)
   mutable lint : Invariants.violation list;
   mutable lint_count : int;
@@ -118,6 +120,7 @@ let create ~(kst : Kstate.t) ~(prog_type : Prog.prog_type)
     attach;
     insns;
     aux = Array.init (Array.length insns) (fun _ -> fresh_aux ());
+    pool = Vstate.create_pool ();
     st = Vstate.initial ~ctx:Regstate.ctx_pointer;
     branch_stack = [];
     explored = Hashtbl.create 64;
@@ -127,7 +130,6 @@ let create ~(kst : Kstate.t) ~(prog_type : Prog.prog_type)
     next_id = 1;
     vlog = Vlog.create log_level;
     cov;
-    local_edges = Hashtbl.create 256;
     lint = [];
     lint_count = 0;
   }
@@ -159,6 +161,12 @@ let fresh_id (t : t) : int =
 
 let logf (t : t) fmt = Vlog.logf t.vlog ~level:1 fmt
 
+(* Hot-path instruction trace: [Insn.to_string] is only worth building
+   when level-1 logging is actually on (OCaml evaluates arguments
+   eagerly, so the guard must live before the call, not inside logf). *)
+let log_insn (t : t) ~(pc : int) (i : Insn.t) : unit =
+  if Vlog.enabled t.vlog 1 then logf t "%d: %s\n" pc (Insn.to_string i)
+
 (* Level-2 state dump: the abstract register file of the current frame
    before the instruction, one kernel-style "Rn=..." line. *)
 let log_state (t : t) : unit =
@@ -182,9 +190,7 @@ let log_state (t : t) : unit =
 (* Coverage instrumentation point: [site] is a static name for the
    verifier branch, [v] an optional small discriminator. *)
 let cov ?(v = 0) (t : t) (site : string) : unit =
-  let edge = Coverage.edge_id t.cov site v in
-  Coverage.record t.cov edge;
-  Hashtbl.replace t.local_edges edge ()
+  Coverage.hit t.cov site v
 
 let reject ?reason (t : t) ~(pc : int) (errno : errno) fmt =
   Format.kasprintf

@@ -24,8 +24,12 @@ let add (t : t) (s : string) : unit =
     else Buffer.add_string t.buf s
   end
 
+(* Below the active level the format string is skipped entirely
+   ([ikfprintf] consumes the arguments without interpreting them) —
+   disabled logging must not pay for formatting on the hot path. *)
 let logf (t : t) ~(level : int) fmt =
-  Format.kasprintf (fun s -> if t.lvl >= level then add t s) fmt
+  if t.lvl >= level then Format.kasprintf (add t) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let truncated (t : t) : bool = t.trunc
 

@@ -2,51 +2,192 @@ open Vimport
 
 (* Verifier state: register file and stack for each call frame, plus the
    acquired-reference and spin-lock bookkeeping, mirroring the kernel's
-   bpf_verifier_state / bpf_func_state. *)
+   bpf_verifier_state / bpf_func_state.
 
-type byte_state = B_invalid | B_misc | B_zero | B_spill
+   Representation is chosen for the analyzer's hot path: frames live in
+   a fixed-capacity array indexed by frame number (the kernel's
+   frame[MAX_CALL_FRAMES]), the per-byte stack classification is a
+   [Bytes.t] so copies are a memcpy and the common pruning comparison a
+   memcmp, and spilled registers sit in a dense 64-slot option array.
+   States and frames are recycled through an explicit pool (see
+   {!pool}) instead of being garbage after every branch. *)
+
+(* Stack byte classification, one char per byte.  The codes matter only
+   relative to each other; see [byte_ok] for the subsumption lattice. *)
+let b_invalid = '\000' (* STACK_INVALID: never written *)
+let b_misc = '\001'    (* STACK_MISC: written, unknown bytes *)
+let b_zero = '\002'    (* STACK_ZERO: known-zero bytes *)
+let b_spill = '\003'   (* STACK_SPILL: part of a tracked register spill *)
 
 type frame = {
-  frameno : int;
-  mutable regs : Regstate.t array; (* R0..R10 *)
-  stack : byte_state array;        (* 512 bytes; index i = fp-512+i *)
-  spills : (int, Regstate.t) Hashtbl.t; (* 8-byte slot index -> reg *)
-  callsite : int;                  (* pc to return to; -1 in frame 0 *)
+  mutable frameno : int;
+  regs : Regstate.t array;          (* R0..R10 *)
+  stack : Bytes.t;                  (* 512 bytes; index i = fp-512+i *)
+  spills : Regstate.t option array; (* 8-byte slot index -> reg *)
+  mutable callsite : int;           (* pc to return to; -1 in frame 0 *)
 }
 
+(* Fixed capacity: the analyzer rejects at [Venv.max_call_depth] (4)
+   frames, so 8 slots is comfortable headroom. *)
+let max_frames = 8
+
 type t = {
-  mutable frames : frame list; (* innermost last *)
-  mutable refs : int list;     (* acquired reference ids *)
+  mutable frames : frame array; (* slots 0..nframes-1 live; frameno = index *)
+  mutable nframes : int;
+  mutable refs : int list;      (* acquired reference ids *)
   mutable active_lock : int option; (* map id whose lock is held *)
 }
 
 let stack_bytes = Prog.stack_size
+let spill_slots = stack_bytes / 8
 
 let new_frame ~(frameno : int) ~(callsite : int) : frame =
   let regs = Array.make 11 Regstate.not_init in
   regs.(10) <- Regstate.fp frameno;
-  { frameno; regs; stack = Array.make stack_bytes B_invalid;
-    spills = Hashtbl.create 8; callsite }
+  { frameno; regs; stack = Bytes.make stack_bytes b_invalid;
+    spills = Array.make spill_slots None; callsite }
+
+let reset_frame (f : frame) ~(frameno : int) ~(callsite : int) : unit =
+  f.frameno <- frameno;
+  f.callsite <- callsite;
+  Array.fill f.regs 0 11 Regstate.not_init;
+  f.regs.(10) <- Regstate.fp frameno;
+  Bytes.fill f.stack 0 stack_bytes b_invalid;
+  Array.fill f.spills 0 spill_slots None
+
+let blit_frame ~(src : frame) ~(dst : frame) : unit =
+  dst.frameno <- src.frameno;
+  dst.callsite <- src.callsite;
+  Array.blit src.regs 0 dst.regs 0 11;
+  Bytes.blit src.stack 0 dst.stack 0 stack_bytes;
+  Array.blit src.spills 0 dst.spills 0 spill_slots
+
+let copy_frame (f : frame) : frame =
+  { frameno = f.frameno; regs = Array.copy f.regs;
+    stack = Bytes.copy f.stack; spills = Array.copy f.spills;
+    callsite = f.callsite }
+
+(* Placeholder for dead frame-array slots.  Shared (never read, never
+   written: only slots below [nframes] are touched). *)
+let dummy_frame = new_frame ~frameno:0 ~callsite:(-1)
+
+let empty_state () : t =
+  { frames = Array.make max_frames dummy_frame; nframes = 0; refs = [];
+    active_lock = None }
 
 let initial ~(ctx : Regstate.t) : t =
   let f = new_frame ~frameno:0 ~callsite:(-1) in
   f.regs.(1) <- ctx;
-  { frames = [ f ]; refs = []; active_lock = None }
+  let t = empty_state () in
+  t.frames.(0) <- f;
+  t.nframes <- 1;
+  t
 
 let cur_frame (t : t) : frame =
-  match List.rev t.frames with
-  | f :: _ -> f
-  | [] -> invalid_arg "Vstate.cur_frame: no frames"
+  if t.nframes = 0 then invalid_arg "Vstate.cur_frame: no frames";
+  t.frames.(t.nframes - 1)
 
-let frame_count (t : t) : int = List.length t.frames
+let frame_count (t : t) : int = t.nframes
 
-let copy_frame (f : frame) : frame =
-  { f with regs = Array.copy f.regs; stack = Array.copy f.stack;
-    spills = Hashtbl.copy f.spills }
+(* Frame by frame number ([frameno] always equals its index); the
+   innermost frame when out of range, matching the historical
+   list-search fallback. *)
+let find_frame (t : t) (fno : int) : frame =
+  if fno >= 0 && fno < t.nframes then t.frames.(fno) else cur_frame t
 
-let copy (t : t) : t =
-  { frames = List.map copy_frame t.frames; refs = t.refs;
-    active_lock = t.active_lock }
+let iter_frames (t : t) (fn : frame -> unit) : unit =
+  for i = 0 to t.nframes - 1 do
+    fn t.frames.(i)
+  done
+
+let push_top_frame (t : t) (f : frame) : unit =
+  if t.nframes >= max_frames then
+    invalid_arg "Vstate.push_top_frame: frame capacity exceeded";
+  t.frames.(t.nframes) <- f;
+  t.nframes <- t.nframes + 1
+
+let pop_top_frame (t : t) : frame =
+  if t.nframes <= 1 then invalid_arg "Vstate.pop_top_frame: no callee";
+  let f = t.frames.(t.nframes - 1) in
+  t.nframes <- t.nframes - 1;
+  f
+
+(* -- State/frame pool -------------------------------------------------- *)
+
+(* A free list of recycled states and frames, owned by one verification
+   environment (so it is domain-local and dies with the load).  Popped
+   callee frames, pruned paths and finished paths are released here and
+   re-blitted instead of re-allocated: per-branch cost drops from
+   "allocate 11 regs + 512 stack bytes + spill table per frame" to a
+   few memcpys into warm memory. *)
+type pool = {
+  mutable free_frames : frame list;
+  mutable free_states : t list;
+  p_enabled : bool;
+}
+
+(* Global toggle read at pool creation: the qcheck identity property
+   runs whole campaigns with pooling off and asserts equal digests. *)
+let pool_enabled : bool ref = ref true
+
+let create_pool () : pool =
+  { free_frames = []; free_states = []; p_enabled = !pool_enabled }
+
+(* Inert pool for callers without one (tests, tools): never mutated,
+   so sharing the value is domain-safe. *)
+let no_pool : pool = { free_frames = []; free_states = []; p_enabled = false }
+
+let alloc_frame (pool : pool) ~(frameno : int) ~(callsite : int) : frame =
+  match pool.free_frames with
+  | f :: rest when pool.p_enabled ->
+    pool.free_frames <- rest;
+    reset_frame f ~frameno ~callsite;
+    f
+  | _ -> new_frame ~frameno ~callsite
+
+let release_frame (pool : pool) (f : frame) : unit =
+  if pool.p_enabled then pool.free_frames <- f :: pool.free_frames
+
+(* Recycle a whole state.  Only safe when the caller uniquely owns it:
+   the analyzer releases exactly the abandoned current path (prune hit,
+   main exit) and popped callee frames — stored explored states and
+   pending branch-stack states stay live. *)
+let release (pool : pool) (t : t) : unit =
+  if pool.p_enabled then begin
+    for i = 0 to t.nframes - 1 do
+      pool.free_frames <- t.frames.(i) :: pool.free_frames
+    done;
+    t.nframes <- 0;
+    t.refs <- [];
+    t.active_lock <- None;
+    pool.free_states <- t :: pool.free_states
+  end
+
+let copy ?(pool = no_pool) (t : t) : t =
+  let dst =
+    if pool.p_enabled then
+      match pool.free_states with
+      | s :: rest ->
+        pool.free_states <- rest;
+        s
+      | [] -> empty_state ()
+    else empty_state ()
+  in
+  dst.nframes <- t.nframes;
+  dst.refs <- t.refs;
+  dst.active_lock <- t.active_lock;
+  for i = 0 to t.nframes - 1 do
+    let src = t.frames.(i) in
+    if pool.p_enabled then begin
+      let f =
+        alloc_frame pool ~frameno:src.frameno ~callsite:src.callsite
+      in
+      blit_frame ~src ~dst:f;
+      dst.frames.(i) <- f
+    end
+    else dst.frames.(i) <- copy_frame src
+  done;
+  dst
 
 let reg (t : t) (r : Insn.reg) : Regstate.t =
   (cur_frame t).regs.(Insn.reg_to_int r)
@@ -60,37 +201,36 @@ let set_reg (t : t) (r : Insn.reg) (v : Regstate.t) : unit =
    [id]: how a null check on one copy updates the others. *)
 let map_regs_with_id (t : t) ~(id : int) (fn : Regstate.t -> Regstate.t) :
   unit =
-  let update (fr : frame) =
-    Array.iteri
-      (fun i r ->
-         match r.Regstate.kind with
-         | Regstate.Ptr p when p.id = id && id <> 0 -> fr.regs.(i) <- fn r
-         | _ -> ())
-      fr.regs;
-    Hashtbl.iter
-      (fun slot r ->
-         match r.Regstate.kind with
-         | Regstate.Ptr p when p.id = id && id <> 0 ->
-           Hashtbl.replace fr.spills slot (fn r)
-         | _ -> ())
-      (Hashtbl.copy fr.spills)
-  in
-  List.iter update t.frames
+  iter_frames t (fun fr ->
+      Array.iteri
+        (fun i r ->
+           match r.Regstate.kind with
+           | Regstate.Ptr p when p.id = id && id <> 0 -> fr.regs.(i) <- fn r
+           | _ -> ())
+        fr.regs;
+      for slot = 0 to spill_slots - 1 do
+        match fr.spills.(slot) with
+        | Some r -> begin
+            match r.Regstate.kind with
+            | Regstate.Ptr p when p.id = id && id <> 0 ->
+              fr.spills.(slot) <- Some (fn r)
+            | _ -> ()
+          end
+        | None -> ()
+      done)
 
 (* Same, for packet pointers sharing [id] (range propagation). *)
 let map_packet_regs (t : t) ~(id : int) (fn : Regstate.t -> Regstate.t) :
   unit =
-  let update (fr : frame) =
-    Array.iteri
-      (fun i r ->
-         match r.Regstate.kind with
-         | Regstate.Ptr { pk = Regstate.P_packet; id = id'; _ }
-           when id' = id ->
-           fr.regs.(i) <- fn r
-         | _ -> ())
-      fr.regs
-  in
-  List.iter update t.frames
+  iter_frames t (fun fr ->
+      Array.iteri
+        (fun i r ->
+           match r.Regstate.kind with
+           | Regstate.Ptr { pk = Regstate.P_packet; id = id'; _ }
+             when id' = id ->
+             fr.regs.(i) <- fn r
+           | _ -> ())
+        fr.regs)
 
 (* -- Stack access ------------------------------------------------------ *)
 
@@ -107,26 +247,23 @@ let slot_of_off (off : int) : int = (stack_bytes + off) / 8
    to misc/zero and kills any overlapping spill. *)
 let stack_write (f : frame) ~(off : int) ~(size : int)
     (stored : Regstate.t) : unit =
-  let kill_spill_at idx = Hashtbl.remove f.spills (idx / 8) in
   let zero =
     match Regstate.const_value stored with Some 0L -> true | _ -> false
   in
   if size = 8 && (stack_bytes + off) mod 8 = 0 then begin
-    let slot = slot_of_off off in
-    (match stack_index off with
-     | Some base ->
-       for i = base to base + 7 do
-         f.stack.(i) <- B_spill
-       done;
-       Hashtbl.replace f.spills slot stored
-     | None -> ())
+    match stack_index off with
+    | Some base ->
+      Bytes.fill f.stack base 8 b_spill;
+      f.spills.(base / 8) <- Some stored
+    | None -> ()
   end
   else begin
     match stack_index off with
     | Some base ->
+      let c = if zero then b_zero else b_misc in
       for i = base to base + size - 1 do
-        kill_spill_at i;
-        f.stack.(i) <- (if zero then B_zero else B_misc)
+        f.spills.(i / 8) <- None;
+        Bytes.set f.stack i c
       done
     | None -> ()
   end
@@ -138,24 +275,28 @@ let stack_read (f : frame) ~(off : int) ~(size : int) :
   match stack_index off with
   | None -> Error "stack offset out of range"
   | Some base ->
-    let slot = slot_of_off off in
-    if size = 8 && (stack_bytes + off) mod 8 = 0
-       && Hashtbl.mem f.spills slot then
-      Ok (Hashtbl.find f.spills slot)
-    else begin
+    let aligned = (stack_bytes + off) mod 8 = 0 in
+    match (if aligned then f.spills.(slot_of_off off) else None) with
+    | Some spilled when size = 8 -> Ok spilled
+    | Some spilled when Regstate.is_const spilled ->
+      (* narrow read at the base of an intact constant spill: on the
+         little-endian stack the low [size] bytes ARE the low bytes of
+         the constant.  The full-width value is returned; the load path
+         truncates it to the access width (Bug12 gates the stale
+         pre-fix behavior that skipped that truncation). *)
+      Ok spilled
+    | _ ->
       let rec scan i all_zero =
         if i >= size then Ok (if all_zero then `Zero else `Misc)
         else
-          match f.stack.(base + i) with
-          | B_invalid -> Error "invalid read from stack"
-          | B_zero -> scan (i + 1) all_zero
-          | B_misc | B_spill -> scan (i + 1) false
+          let c = Bytes.get f.stack (base + i) in
+          if c = b_invalid then Error "invalid read from stack"
+          else scan (i + 1) (all_zero && c = b_zero)
       in
-      match scan 0 true with
-      | Error e -> Error e
-      | Ok `Zero -> Ok (Regstate.const_scalar 0L)
-      | Ok `Misc -> Ok Regstate.unknown_scalar
-    end
+      (match scan 0 true with
+       | Error e -> Error e
+       | Ok `Zero -> Ok (Regstate.const_scalar 0L)
+       | Ok `Misc -> Ok Regstate.unknown_scalar)
 
 (* Are [size] bytes at fp+[off] fully initialized (helper Mem_rd args)? *)
 let stack_initialized (f : frame) ~(off : int) ~(size : int) : bool =
@@ -164,7 +305,7 @@ let stack_initialized (f : frame) ~(off : int) ~(size : int) : bool =
   | Some base ->
     let rec go i =
       i >= size
-      || (f.stack.(base + i) <> B_invalid && go (i + 1))
+      || (Bytes.get f.stack (base + i) <> b_invalid && go (i + 1))
     in
     go 0
 
@@ -174,37 +315,46 @@ let stack_mark_written (f : frame) ~(off : int) ~(size : int) : unit =
   | None -> ()
   | Some base ->
     for i = base to base + size - 1 do
-      Hashtbl.remove f.spills (i / 8);
-      f.stack.(i) <- B_misc
+      f.spills.(i / 8) <- None;
+      Bytes.set f.stack i b_misc
     done
 
 (* -- Pruning ----------------------------------------------------------- *)
 
 let stack_within ~(old : frame) ~(cur : frame) ~(bug3 : bool) : bool =
-  let byte_ok i =
-    match old.stack.(i), cur.stack.(i) with
-    | B_invalid, _ -> true
-    | B_misc, (B_misc | B_zero | B_spill) -> true
-    | B_zero, B_zero -> true
-    | B_spill, B_spill -> true
-    | (B_misc | B_zero | B_spill), _ -> false
+  let byte_ok o c =
+    if o = b_invalid then true
+    else if o = b_misc then c <> b_invalid
+    else o = c (* zero needs zero, spill needs spill *)
   in
-  let rec bytes i = i >= stack_bytes || (byte_ok i && bytes (i + 1)) in
-  let spills_ok () =
-    Hashtbl.fold
-      (fun slot old_reg acc ->
-         acc
-         && (match Hashtbl.find_opt cur.spills slot with
+  let bytes_ok =
+    (* byte-equal stacks always pass byte_ok; memcmp is the common case *)
+    Bytes.equal old.stack cur.stack
+    || (let rec go i =
+          i >= stack_bytes
+          || (byte_ok (Bytes.unsafe_get old.stack i)
+                (Bytes.unsafe_get cur.stack i)
+              && go (i + 1))
+        in
+        go 0)
+  in
+  let rec spills_ok slot =
+    slot >= spill_slots
+    || ((match old.spills.(slot) with
+         | None -> true
+         | Some old_reg -> begin
+             match cur.spills.(slot) with
              | Some cur_reg ->
                Regstate.reg_within ~old:old_reg ~cur:cur_reg ~bug3
              | None ->
                (* old spill may have degraded to misc in cur *)
                (match old_reg.Regstate.kind with
                 | Regstate.Scalar -> not old_reg.Regstate.precise
-                | _ -> false)))
-      old.spills true
+                | _ -> false)
+           end)
+        && spills_ok (slot + 1))
   in
-  bytes 0 && spills_ok ()
+  bytes_ok && spills_ok 0
 
 let frame_within ~(old : frame) ~(cur : frame) ~(bug3 : bool) : bool =
   old.callsite = cur.callsite
@@ -217,9 +367,91 @@ let frame_within ~(old : frame) ~(cur : frame) ~(bug3 : bool) : bool =
   && stack_within ~old ~cur ~bug3
 
 let states_equal ~(old : t) ~(cur : t) ~(bug3 : bool) : bool =
-  List.length old.frames = List.length cur.frames
+  old.nframes = cur.nframes
   && old.active_lock = cur.active_lock
   && List.length old.refs = List.length cur.refs
-  && List.for_all2
-    (fun o c -> frame_within ~old:o ~cur:c ~bug3)
-    old.frames cur.frames
+  && (let rec go i =
+        i >= old.nframes
+        || (frame_within ~old:old.frames.(i) ~cur:cur.frames.(i) ~bug3
+            && go (i + 1))
+      in
+      go 0)
+
+(* -- Pruning signatures ------------------------------------------------ *)
+
+(* A cheap necessary-condition filter in front of [states_equal]: most
+   pruning probes miss, and a miss should cost an integer compare, not
+   an 11-register / 512-byte walk.
+
+   This is NOT an equality hash — pruning is subsumption, so the filter
+   encodes only facts [states_equal] requires exactly: frame count,
+   lock/ref bookkeeping, per-frame callsite, and per-register kind
+   *compatibility*.  Each register contributes a 3-bit mask.  The
+   stored (old) side records which probe kinds [reg_within] could
+   accept: Not_init accepts anything (0b111), Scalar only Scalar
+   (0b010), Ptr only Ptr (0b100).  The probe (cur) side contributes its
+   own kind as a single bit.  A stored state can only subsume the probe
+   if [stored land probe] is non-zero in every register's group, so a
+   zero group anywhere proves [states_equal] false without looking at
+   bounds.  False positives (filter passes, [states_equal] says no) are
+   fine; false negatives are impossible by construction. *)
+
+(* bit 0 of each register's 3-bit group, registers 0..10 *)
+let sig_group_lsbs = 0o11111111111
+
+let frame_sig_stored (f : frame) : int =
+  let mask = ref 0 in
+  for i = 0 to 10 do
+    let bits =
+      match f.regs.(i).Regstate.kind with
+      | Regstate.Not_init -> 0b111
+      | Regstate.Scalar -> 0b010
+      | Regstate.Ptr _ -> 0b100
+    in
+    mask := !mask lor (bits lsl (3 * i))
+  done;
+  ((f.callsite + 1) lsl 33) lor !mask
+
+let frame_sig_probe (f : frame) : int =
+  let mask = ref 0 in
+  for i = 0 to 10 do
+    let bits =
+      match f.regs.(i).Regstate.kind with
+      | Regstate.Not_init -> 0b001
+      | Regstate.Scalar -> 0b010
+      | Regstate.Ptr _ -> 0b100
+    in
+    mask := !mask lor (bits lsl (3 * i))
+  done;
+  ((f.callsite + 1) lsl 33) lor !mask
+
+(* Head signature: the cheap equalities of [states_equal].  Any
+   deterministic packing is sound (a collision only means the frame
+   walk runs and settles it). *)
+let state_sig (t : t) : int =
+  t.nframes
+  lor (List.length t.refs lsl 4)
+  lor (match t.active_lock with
+      | None -> 0
+      | Some id -> ((id land 0xFFFF) lor 0x10000) lsl 16)
+
+let frame_sigs_stored (t : t) : int array =
+  Array.init t.nframes (fun i -> frame_sig_stored t.frames.(i))
+
+let frame_sigs_probe (t : t) : int array =
+  Array.init t.nframes (fun i -> frame_sig_probe t.frames.(i))
+
+(* Can a state with stored signatures possibly subsume one with probe
+   signatures?  Caller guarantees equal lengths (equal head sigs). *)
+let sigs_compatible ~(stored : int array) ~(probe : int array) : bool =
+  let n = Array.length stored in
+  let rec go i =
+    i >= n
+    || (let s = stored.(i) and p = probe.(i) in
+        s lsr 33 = p lsr 33
+        && (let m = s land p in
+            (m lor (m lsr 1) lor (m lsr 2)) land sig_group_lsbs
+            = sig_group_lsbs)
+        && go (i + 1))
+  in
+  go 0

@@ -38,6 +38,13 @@ type t = {
   mutable vs_branch_hwm : int;
       (* branch worklist high-water mark: the deepest the pending-path
          queue ever got *)
+  mutable vs_prune_hash_skips : int;
+      (* stored states dismissed by the cheap pruning signature without
+         running states_equal.  Deliberately NOT in [counters] (and so
+         not in any digest, JSON table or veristat baseline): it
+         measures the cost model of the comparison, not the analysis
+         result, and adding it to the canonical schema would break
+         [Veristat.of_json] on committed baselines. *)
 }
 
 let zero () : t =
@@ -52,6 +59,7 @@ let zero () : t =
     vs_loops_detected = 0;
     vs_branch_depth = 0;
     vs_branch_hwm = 0;
+    vs_prune_hash_skips = 0;
   }
 
 (* -- Analysis-loop hooks ------------------------------------------------ *)
@@ -73,6 +81,9 @@ let state_done (t : t) : unit =
 
 let prune_hit (t : t) : unit = t.vs_prune_hits <- t.vs_prune_hits + 1
 let prune_miss (t : t) : unit = t.vs_prune_misses <- t.vs_prune_misses + 1
+
+let prune_hash_skip (t : t) : unit =
+  t.vs_prune_hash_skips <- t.vs_prune_hash_skips + 1
 
 let loop_detected (t : t) : unit =
   t.vs_loops_detected <- t.vs_loops_detected + 1

@@ -1,0 +1,208 @@
+(* Hot-path regression properties: the perf work (state pool, prune
+   signatures, decoded executor) must be behavior-preserving, and the
+   narrow-load fix it uncovered must stay fixed.
+
+   - pooling identity: a campaign with state/frame recycling disabled
+     produces the same digest as the pooled default — recycling warm
+     memory never leaks state between paths;
+   - prune-signature soundness: the cheap filter in front of
+     [Vstate.states_equal] has no false negatives — whenever the full
+     walk would prune, the signatures let it run;
+   - narrow-load witness regression: the pre-fix behavior (narrow [Ldx]
+     of a constant spill keeping the stale full-width constant) is a
+     real abstract/concrete divergence, demonstrated through the
+     witness oracle with [Kconfig.Bug12_narrow_load_const];
+   - counter-schema guard: the veristat counter schema is frozen by
+     committed baselines; internal counters must not leak into it. *)
+
+module Insn = Bvf_ebpf.Insn
+module Asm = Bvf_ebpf.Asm
+module Prog = Bvf_ebpf.Prog
+module Version = Bvf_ebpf.Version
+module Kconfig = Bvf_kernel.Kconfig
+module Report = Bvf_kernel.Report
+module Regstate = Bvf_verifier.Regstate
+module Vstate = Bvf_verifier.Vstate
+module Vstats = Bvf_verifier.Vstats
+module Verifier = Bvf_verifier.Verifier
+module Loader = Bvf_runtime.Loader
+module Campaign = Bvf_core.Campaign
+
+(* -- Pooling identity ----------------------------------------------------- *)
+
+let campaign_digest () =
+  let config = Kconfig.default Version.Bpf_next in
+  Campaign.digest (Campaign.run ~seed:7 ~iterations:800 Campaign.bvf_strategy config)
+
+let pool_identity () =
+  let pooled = campaign_digest () in
+  Vstate.pool_enabled := false;
+  let unpooled =
+    Fun.protect
+      ~finally:(fun () -> Vstate.pool_enabled := true)
+      campaign_digest
+  in
+  Alcotest.(check string) "pool on/off digests" pooled unpooled
+
+(* -- Prune-signature soundness -------------------------------------------- *)
+
+(* Random register values of every kind the signature distinguishes. *)
+let gen_reg : Regstate.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Regstate.not_init;
+      return Regstate.unknown_scalar;
+      map (fun v -> Regstate.const_scalar (Int64.of_int v)) small_int;
+      map
+        (fun (a, b) ->
+           let a = Int64.of_int a and b = Int64.of_int b in
+           Regstate.scalar_range ~umin:(min a b) ~umax:(max a b))
+        (pair small_int small_int);
+      return (Regstate.fp 0);
+      return Regstate.ctx_pointer;
+    ]
+
+(* A probe state plus a stored state that subsumes it by construction:
+   per register, keep the probe value, or widen it (any scalar to the
+   unknown scalar, anything to uninitialized — both accepted by
+   [Regstate.reg_within]).  Stacks, refs and locks stay empty/equal. *)
+let gen_subsumed_pair : (Vstate.t * Vstate.t) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* frames = int_range 1 2 in
+  let* regs = array_size (return ((11 * frames) + 1)) gen_reg in
+  let* widen = array_size (return ((11 * frames) + 1)) (int_range 0 2) in
+  let build () =
+    let st = Vstate.initial ~ctx:Regstate.ctx_pointer in
+    if frames = 2 then
+      Vstate.push_top_frame st (Vstate.new_frame ~frameno:1 ~callsite:5);
+    st
+  in
+  let cur = build () and old = build () in
+  let k = ref 0 in
+  Vstate.iter_frames cur (fun f ->
+      for i = 0 to 10 do
+        f.Vstate.regs.(i) <- regs.(!k);
+        incr k
+      done);
+  let k = ref 0 in
+  Vstate.iter_frames old (fun f ->
+      for i = 0 to 10 do
+        let v = regs.(!k) in
+        f.Vstate.regs.(i) <-
+          (match widen.(!k) with
+           | 0 -> v
+           | 1 when Regstate.is_scalar v -> Regstate.unknown_scalar
+           | 1 -> v
+           | _ -> Regstate.not_init);
+        incr k
+      done);
+  return (old, cur)
+
+(* No false negatives: whenever the full walk says "prune", the cheap
+   filter must have let it through.  The generator makes subsumption
+   hold by construction, so the property is exercised on every case,
+   not vacuously. *)
+let prune_sig_sound =
+  QCheck2.Test.make ~count:2000 ~name:"prune signatures never veto states_equal"
+    gen_subsumed_pair
+    (fun (old, cur) ->
+       let equal = Vstate.states_equal ~old ~cur ~bug3:false in
+       if not equal then
+         QCheck2.Test.fail_reportf
+           "generator broke subsumption (frames=%d)" (Vstate.frame_count cur);
+       Vstate.state_sig old = Vstate.state_sig cur
+       && Vstate.sigs_compatible
+            ~stored:(Vstate.frame_sigs_stored old)
+            ~probe:(Vstate.frame_sigs_probe cur))
+
+(* -- Narrow-load witness regression --------------------------------------- *)
+
+(* r2 = 0x101; spill it; narrow-reload the low byte.  Pre-fix the
+   verifier kept the full 0x101 as r1's constant while the concrete
+   little-endian load yields 0x01 — a divergence the witness oracle
+   reports as an escape.  The fixed verifier truncates and nothing
+   escapes. *)
+let narrow_load_prog =
+  Asm.prog
+    [ [ Asm.mov64_imm Insn.R2 0x101l;
+        Asm.stx_dw Insn.R10 Insn.R2 (-8);
+        Asm.ldx_b Insn.R1 Insn.R10 (-8) ];
+      Asm.ret 0l ]
+
+let narrow_load_run config =
+  let session = Loader.create config in
+  let req =
+    { Verifier.r_prog_type = Prog.Kprobe; r_attach = None;
+      r_offload = false; r_insns = narrow_load_prog }
+  in
+  let result = Loader.load_and_run session req in
+  (match result.Loader.verdict with
+   | Error e ->
+     Alcotest.fail
+       (Printf.sprintf "narrow-load program rejected: %s"
+          e.Bvf_verifier.Venv.vmsg)
+   | Ok _ -> ());
+  result
+
+let narrow_load_escape (r : Report.t) =
+  match r.Report.kind with
+  | Report.Witness_escape { wreg; wvalue; _ } -> wreg = 1 && wvalue = 1L
+  | _ -> false
+
+let narrow_load_buggy () =
+  let config =
+    Kconfig.make Version.Bpf_next
+      ~bugs:[ Kconfig.Bug12_narrow_load_const ] ~witness:true
+  in
+  let result = narrow_load_run config in
+  Alcotest.(check bool) "stale constant escapes through the witness" true
+    (List.exists narrow_load_escape result.Loader.witness)
+
+let narrow_load_fixed () =
+  let config = Kconfig.make Version.Bpf_next ~bugs:[] ~witness:true in
+  let result = narrow_load_run config in
+  Alcotest.(check (list string)) "no witness escapes after the fix" []
+    (List.map Report.to_string result.Loader.witness)
+
+(* Bug12 is a regression demonstrator, not campaign ground truth: it
+   must stay out of the corpus and out of every version's bug set. *)
+let narrow_load_not_in_corpus () =
+  Alcotest.(check bool) "absent from all_bugs" false
+    (List.mem Kconfig.Bug12_narrow_load_const Kconfig.all_bugs);
+  List.iter
+    (fun v ->
+       Alcotest.(check bool)
+         (Printf.sprintf "not shipped by %s" (Version.to_string v))
+         false
+         (Kconfig.bug_in_version v Kconfig.Bug12_narrow_load_const))
+    Version.all
+
+(* -- Counter-schema guard ------------------------------------------------- *)
+
+(* The schema is frozen by the committed veristat baseline; internal
+   diagnostics (the prune-filter skip counter) must not leak into it. *)
+let counter_schema () =
+  Alcotest.(check (list string)) "veristat counter schema"
+    [ "insn_processed"; "total_states"; "peak_states";
+      "max_states_per_insn"; "prune_hits"; "prune_misses";
+      "loops_detected"; "branch_hwm" ]
+    Vstats.counter_names
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bvf_hotpath"
+    [
+      ( "state pool",
+        [ Alcotest.test_case "pool on/off campaign digests equal" `Slow
+            pool_identity ] );
+      ("prune signatures", [ qt prune_sig_sound ]);
+      ( "narrow-load regression",
+        [ Alcotest.test_case "pre-fix behavior diverges (Bug12)" `Quick
+            narrow_load_buggy;
+          Alcotest.test_case "fixed verifier truncates" `Quick
+            narrow_load_fixed;
+          Alcotest.test_case "Bug12 stays out of the corpus" `Quick
+            narrow_load_not_in_corpus ] );
+      ("veristat schema", [ Alcotest.test_case "frozen" `Quick counter_schema ]);
+    ]
