@@ -513,7 +513,15 @@ let explain_cmd =
     match vstats with
     | Some vst ->
       Printf.printf "\nverifier counters:\n  ";
-      Format.printf "%a@." Vstats.pp vst
+      Format.printf "%a@." Vstats.pp vst;
+      (* the loop counters live outside the frozen schema Vstats.pp
+         prints; surface them when the program actually looped *)
+      if vst.Vstats.vs_loop_heads > 0 then
+        Printf.printf "  loops: %d head%s, %d widening round%s\n"
+          vst.Vstats.vs_loop_heads
+          (if vst.Vstats.vs_loop_heads = 1 then "" else "s")
+          vst.Vstats.vs_widen_rounds
+          (if vst.Vstats.vs_widen_rounds = 1 then "" else "s")
     | None -> ()
   in
   Cmd.v
@@ -656,15 +664,35 @@ let selftests_cmd =
 (* -- lint --------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run version count out =
+  let run version count gen seed out =
     (* a fixed verifier with the invariant lint enabled, over the
-       self-test corpus: any violation is a well-formedness defect in
-       the abstract domain itself, independent of the dynamic oracle *)
+       self-test corpus or a structured-generator batch: any violation
+       is a well-formedness defect in the abstract domain itself,
+       independent of the dynamic oracle.  The generated batch is the
+       CI gate for the loop frames: widening must stay extensive and
+       idempotent over whatever the generator emits. *)
     let config =
       Kconfig.with_lint (Kconfig.fixed version) true
     in
-    let suite = Selftests.build ~count ~config version in
-    let kst = suite.Selftests.session.Loader.kst in
+    let corpus_name, kst, requests =
+      if gen then begin
+        let session = Loader.create config in
+        let gen_config =
+          { Gen.c_version = version;
+            c_maps = Campaign.standard_maps session }
+        in
+        let rng = Rng.create seed in
+        ( "generated",
+          session.Loader.kst,
+          List.init count (fun _ -> Gen.generate rng gen_config) )
+      end
+      else begin
+        let suite = Selftests.build ~count ~config version in
+        ( "self-test",
+          suite.Selftests.session.Loader.kst,
+          suite.Selftests.requests )
+      end
+    in
     let cov = Bvf_verifier.Coverage.create () in
     let buf = Buffer.create 256 in
     let total = ref 0 and rejected = ref 0 and violations = ref 0 in
@@ -677,15 +705,16 @@ let lint_cmd =
          List.iter
            (fun v ->
               Buffer.add_string buf
-                (Printf.sprintf "selftest %d: %s\n" i
+                (Printf.sprintf "%s %d: %s\n" corpus_name i
                    (Bvf_verifier.Invariants.to_string v)))
            vs)
-      suite.Selftests.requests;
+      requests;
     let summary =
       Printf.sprintf
-        "linted %d self-test programs on %s: %d rejected, %d invariant \
+        "linted %d %s programs on %s: %d rejected, %d invariant \
          violations\n"
-        !total (Version.to_string version) !rejected !violations
+        !total corpus_name (Version.to_string version) !rejected
+        !violations
     in
     print_string summary;
     print_string (Buffer.contents buf);
@@ -702,12 +731,18 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the verifier-state invariant lint over the self-test \
-             corpus and report any abstract-domain well-formedness \
-             violations.")
+             corpus (or, with --gen, a structured-generator batch \
+             including counted loops) and report any abstract-domain \
+             well-formedness violations.  Exits 1 on any violation.")
     Term.(const run $ version_t
           $ Arg.(value & opt int 708
                  & info [ "count"; "c" ] ~docv:"N"
-                   ~doc:"Number of self-test programs to lint.")
+                   ~doc:"Number of programs to lint.")
+          $ Arg.(value & flag
+                 & info [ "gen" ]
+                   ~doc:"Lint a structured-generator batch under --seed \
+                         instead of the self-test corpus.")
+          $ seed_t
           $ Arg.(value & opt (some string) None
                  & info [ "out"; "o" ] ~docv:"PATH"
                    ~doc:"Also write the lint report to $(docv)."))

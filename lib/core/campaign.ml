@@ -373,7 +373,9 @@ let step (c : t) : unit =
             prune_hits = v.Vstats.vs_prune_hits;
             prune_misses = v.Vstats.vs_prune_misses;
             loops_detected = v.Vstats.vs_loops_detected;
-            branch_hwm = v.Vstats.vs_branch_hwm })
+            branch_hwm = v.Vstats.vs_branch_hwm;
+            widen_rounds = v.Vstats.vs_widen_rounds;
+            loop_heads = v.Vstats.vs_loop_heads })
    | None -> ());
   if c.strategy.s_feedback then
     Corpus.add c.corpus ~iteration ~new_edges req;
@@ -463,8 +465,11 @@ type snapshot = {
   sn_stats : stats;
 }
 
-(* /5: stats gained st_skipped, snapshots gained sn_merged. *)
-let checkpoint_tag = "bvf-campaign/5"
+(* /5: stats gained st_skipped, snapshots gained sn_merged.
+   /6: vstats aggregate gained widen-round and loop-head counters, and
+   the generator grew the counted-loop frame, so resumed iteration
+   streams diverge from /5 checkpoints. *)
+let checkpoint_tag = "bvf-campaign/6"
 
 let snapshot (c : t) : snapshot =
   {

@@ -880,7 +880,105 @@ let rec emit_jump_frame (g : t) ~(depth : int) : unit =
       set_reg g counter G_scalar
     end
   in
-  if depth < 2 && Rng.chance g.rng 0.25 then back () else fwd ()
+  let wide () =
+    (* widening-exercising counted loop: the trip count is past the
+       unroll budget, so only convergence at the certified loop head
+       verifies it.  The body is synthesized directly (not via
+       emit_frames) so the counter provably stays untouched — the
+       certificate's only-write condition — while still carrying
+       scalar arithmetic across iterations, re-deriving map-value
+       pointer walks inside the body, and occasionally breaking out
+       past the back edge on a data condition. *)
+    let counter = scratch_reg g in
+    emit g (Asm.mov64_imm counter 0l);
+    set_reg g counter G_scalar;
+    let pick_scratch (avoid : Insn.reg list) : Insn.reg option =
+      regs_where g (function G_uninit | G_scalar | G_const _ -> true
+                           | _ -> false)
+      |> List.filter
+           (fun r -> Insn.reg_to_int r >= 6 && not (List.mem r avoid))
+      |> Rng.choose_opt g.rng
+    in
+    let acc = pick_scratch [ counter ] in
+    (match acc with
+     | Some a ->
+       emit g (Asm.mov64_imm a 0l);
+       set_reg g a G_scalar
+     | None -> ());
+    let loop_start = g.len in
+    (* loop-carried scalar arithmetic on the accumulator *)
+    (match acc with
+     | Some a ->
+       if Rng.bool g.rng then emit g (Asm.alu64_reg Insn.Add a counter)
+       else
+         emit g
+           (Asm.alu64_imm
+              (Rng.choose g.rng [ Insn.Add; Insn.Xor ])
+              a
+              (Int32.of_int (1 + Rng.int g.rng 64)));
+       set_reg g a G_scalar
+     | None -> ());
+    (* pointer arithmetic re-derived each iteration: walk a fresh copy
+       of a map-value pointer and load through it.  The copy dies at
+       the head, so the loop state still converges (a pointer CARRIED
+       across the back edge would refuse to widen). *)
+    (match
+       Rng.choose_opt g.rng
+         (regs_where g (function G_map_value _ -> true | _ -> false))
+     with
+     | Some base when Rng.chance g.rng 0.5 -> (
+       match pick_scratch (counter :: Option.to_list acc) with
+       | Some tmp ->
+         let def =
+           match get_reg g base with
+           | G_map_value (_, d) -> d
+           | _ -> assert false
+         in
+         let lock_skip = if def.Map.has_spin_lock then 8 else 0 in
+         if def.Map.value_size - lock_skip >= 8 then begin
+           emit g (Asm.mov64_reg tmp base);
+           emit g (Asm.alu64_imm Insn.Add tmp (Int32.of_int lock_skip));
+           emit g (Asm.ldx_w tmp tmp 0);
+           set_reg g tmp G_scalar
+         end
+       | None -> ())
+     | _ -> ());
+    (* conditional break past the back edge (patched below) *)
+    let break_ph =
+      match acc with
+      | Some a when Rng.chance g.rng 0.4 ->
+        let cond = Rng.choose g.rng [ Insn.Jgt; Insn.Jsgt; Insn.Jset ] in
+        let ph = g.len in
+        emit g
+          (Asm.jmp_imm cond a (Int64.to_int32 (Rng.interesting g.rng)) 0);
+        Some ph
+      | _ -> None
+    in
+    emit g (Asm.alu64_imm Insn.Add counter 1l);
+    let k = 32 + Rng.int g.rng 224 in
+    let body_len = g.len - loop_start in
+    emit g
+      (Asm.jmp_imm
+         (Rng.choose g.rng [ Insn.Jlt; Insn.Jle ])
+         counter (Int32.of_int k)
+         (-(body_len + 1)));
+    (match break_ph with
+     | Some ph ->
+       g.code <-
+         List.mapi
+           (fun idx insn ->
+              if idx = g.len - 1 - ph then
+                match insn with
+                | Insn.Jmp j -> Insn.Jmp { j with off = g.len - ph - 1 }
+                | other -> other
+              else insn)
+           g.code
+     | None -> ());
+    set_reg g counter G_scalar
+  in
+  if depth < 2 && Rng.chance g.rng 0.25 then
+    (if Rng.chance g.rng 0.4 then wide () else back ())
+  else fwd ()
 
 and emit_frames (g : t) ~(depth : int) ~(n : int) : unit =
   for _ = 1 to n do

@@ -45,6 +45,8 @@ type event =
       prune_misses : int;
       loops_detected : int;
       branch_hwm : int;
+      widen_rounds : int;
+      loop_heads : int;
     }
   | Checkpoint of { iter : int }
   | Quarantined of { iter : int }
@@ -110,12 +112,13 @@ let to_json (ev : event) : string =
      bol "correctness" correctness
    | Vstats { iter; insn_processed; total_states; peak_states;
               max_states_per_insn; prune_hits; prune_misses;
-              loops_detected; branch_hwm } ->
+              loops_detected; branch_hwm; widen_rounds; loop_heads } ->
      tag "vstats"; int "iter" iter; int "insn_processed" insn_processed;
      int "total_states" total_states; int "peak_states" peak_states;
      int "max_states_per_insn" max_states_per_insn;
      int "prune_hits" prune_hits; int "prune_misses" prune_misses;
-     int "loops_detected" loops_detected; int "branch_hwm" branch_hwm
+     int "loops_detected" loops_detected; int "branch_hwm" branch_hwm;
+     int "widen_rounds" widen_rounds; int "loop_heads" loop_heads
    | Checkpoint { iter } -> tag "checkpoint"; int "iter" iter
    | Quarantined { iter } -> tag "quarantined"; int "iter" iter
    | Shard_merge { shards; events } ->
@@ -276,6 +279,13 @@ let of_json (line : string) : event option =
                       bug = str_opt "bug";
                       correctness = bol "correctness" })
     | "vstats" ->
+      (* the widening counters postdate the vstats schema: traces
+         written before them parse with the counters at zero *)
+      let int0 k =
+        match List.assoc_opt k fields with
+        | Some (Jnum f) -> int_of_float f
+        | _ -> 0
+      in
       Some (Vstats { iter = int "iter";
                      insn_processed = int "insn_processed";
                      total_states = int "total_states";
@@ -284,7 +294,9 @@ let of_json (line : string) : event option =
                      prune_hits = int "prune_hits";
                      prune_misses = int "prune_misses";
                      loops_detected = int "loops_detected";
-                     branch_hwm = int "branch_hwm" })
+                     branch_hwm = int "branch_hwm";
+                     widen_rounds = int0 "widen_rounds";
+                     loop_heads = int0 "loop_heads" })
     | "checkpoint" -> Some (Checkpoint { iter = int "iter" })
     | "quarantined" -> Some (Quarantined { iter = int "iter" })
     | "shard_merge" ->
@@ -413,6 +425,8 @@ type vstats_summary = {
   vsu_count : int;            (* vstats events seen *)
   vsu_insn_processed : dist;
   vsu_peak_states : dist;
+  vsu_widen_rounds : dist;
+  vsu_loop_heads : int;       (* loop heads across all analyses *)
 }
 
 type summary = {
@@ -443,6 +457,7 @@ let summarize (events : event list) : summary =
   let findings = ref 0 and checkpoints = ref 0 and quarantined = ref 0 in
   let profile = ref None in
   let vs_insn = ref [] and vs_peak = ref [] and vs_count = ref 0 in
+  let vs_widen = ref [] and vs_heads = ref 0 in
   let bump_type pt ~acc =
     let g, a = Option.value (Hashtbl.find_opt by_type pt) ~default:(0, 0)
     in
@@ -460,10 +475,13 @@ let summarize (events : event list) : summary =
          Hashtbl.replace reasons reason
            (1 + Option.value (Hashtbl.find_opt reasons reason) ~default:0)
        | Finding _ -> incr findings
-       | Vstats { insn_processed; peak_states; _ } ->
+       | Vstats { insn_processed; peak_states; widen_rounds; loop_heads;
+                  _ } ->
          incr vs_count;
          vs_insn := insn_processed :: !vs_insn;
-         vs_peak := peak_states :: !vs_peak
+         vs_peak := peak_states :: !vs_peak;
+         vs_widen := widen_rounds :: !vs_widen;
+         vs_heads := !vs_heads + loop_heads
        | Checkpoint _ -> incr checkpoints
        | Quarantined _ -> incr quarantined
        | Shard_merge _ -> ()
@@ -493,7 +511,9 @@ let summarize (events : event list) : summary =
          Some
            { vsu_count = !vs_count;
              vsu_insn_processed = dist_of !vs_insn;
-             vsu_peak_states = dist_of !vs_peak });
+             vsu_peak_states = dist_of !vs_peak;
+             vsu_widen_rounds = dist_of !vs_widen;
+             vsu_loop_heads = !vs_heads });
     su_profile = !profile;
   }
 
@@ -538,7 +558,12 @@ let pp_summary fmt (s : summary) : unit =
        "@.  verifier over %d analyses: insn_processed total %d (p50 %d, p95 %d), peak_states total %d (p50 %d, p95 %d)@."
        v.vsu_count v.vsu_insn_processed.d_total v.vsu_insn_processed.d_p50
        v.vsu_insn_processed.d_p95 v.vsu_peak_states.d_total
-       v.vsu_peak_states.d_p50 v.vsu_peak_states.d_p95
+       v.vsu_peak_states.d_p50 v.vsu_peak_states.d_p95;
+     if v.vsu_loop_heads > 0 || v.vsu_widen_rounds.d_total > 0 then
+       Format.fprintf fmt
+         "  loops: %d heads, widen rounds total %d (p50 %d, p95 %d)@."
+         v.vsu_loop_heads v.vsu_widen_rounds.d_total
+         v.vsu_widen_rounds.d_p50 v.vsu_widen_rounds.d_p95
    | None -> ());
   match s.su_profile with
   | Some (Profile { programs; gen_s; verify_s; sanitize_s; exec_s;

@@ -42,10 +42,14 @@ type event =
       prune_misses : int;
       loops_detected : int;
       branch_hwm : int;
+      widen_rounds : int;
+      loop_heads : int;
     }
       (** veristat-style verifier counters of the iteration's analysis.
           Deterministic (no wall times), so part of the byte-identical
-          trace contract.  Emitted only when the analysis ran. *)
+          trace contract.  Emitted only when the analysis ran.
+          [widen_rounds] and [loop_heads] postdate the frozen counter
+          schema; traces without them parse as zero. *)
   | Checkpoint of { iter : int }
   | Quarantined of { iter : int }
       (** the iteration was skipped because a harness crash in a
@@ -144,6 +148,8 @@ type vstats_summary = {
   vsu_count : int;  (** vstats events seen *)
   vsu_insn_processed : dist;
   vsu_peak_states : dist;
+  vsu_widen_rounds : dist;
+  vsu_loop_heads : int;  (** loop heads summed across all analyses *)
 }
 
 type summary = {

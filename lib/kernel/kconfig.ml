@@ -48,8 +48,15 @@ type bug =
        this simulation): it re-creates the pre-fix behavior of this
        repo's own narrow-load bug so directed tests can demonstrate the
        abstract/concrete divergence through the witness oracle. *)
+  | Bug13_widen_tight_exit
+    (* verifier: loop-state widening declares convergence after its
+       first round, so the loop-exit range stays too tight and concrete
+       iterations escape the recorded abstract states.  Like Bug12 it
+       never shipped: it exists so directed tests can demonstrate that
+       a broken widening is caught as a witness escape, not a silent
+       unsoundness. *)
 
-(* Bug12 deliberately excluded: a regression demonstrator, not a
+(* Bug12 and Bug13 deliberately excluded: regression demonstrators, not
    campaign ground truth. *)
 let all_bugs =
   [ Bug1_nullness_propagation; Bug2_btf_size_check;
@@ -72,6 +79,7 @@ let bug_to_string = function
   | Bug10_irq_work_lock -> "bug10-irq-work-lock"
   | Bug11_xdp_host_exec -> "bug11-xdp-host-exec"
   | Bug12_narrow_load_const -> "bug12-narrow-load-const"
+  | Bug13_widen_tight_exit -> "bug13-widen-tight-exit"
 
 (* Table 2 component / description / severity, for reporting. *)
 let bug_info = function
@@ -105,6 +113,9 @@ let bug_info = function
   | Bug12_narrow_load_const ->
     ("Verifier", "narrow load of a constant spill not truncated",
      `Correctness)
+  | Bug13_widen_tight_exit ->
+    ("Verifier", "loop widening converges on a too-tight exit range",
+     `Correctness)
 
 (* Historical presence: which versions ship each bug (before its fix). *)
 let bug_in_version (v : Version.t) (b : bug) : bool =
@@ -122,8 +133,8 @@ let bug_in_version (v : Version.t) (b : bug) : bool =
   | Cve_2022_23222 ->
     (* fixed in v5.16; of the evaluated versions only v5.15 carries it *)
     v = Version.V5_15
-  | Bug12_narrow_load_const ->
-    (* never shipped: exists only for directed regression tests *)
+  | Bug12_narrow_load_const | Bug13_widen_tight_exit ->
+    (* never shipped: exist only for directed regression tests *)
     false
   | Bug2_btf_size_check | Bug4_trace_printk_recursion | Bug6_signal_send_nmi
   | Bug7_dispatcher_race | Bug8_kmemdup_limit | Bug9_map_bucket_iter

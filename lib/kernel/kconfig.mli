@@ -24,10 +24,17 @@ type bug =
           deliberately NOT in {!all_bugs} and shipped by no version:
           directed tests enable it explicitly to show the old behavior
           was a real abstract/concrete divergence. *)
+  | Bug13_widen_tight_exit
+      (** verifier: loop-state widening declares convergence after its
+          first round, leaving the loop-exit range too tight.  Like
+          {!Bug12_narrow_load_const} it is a directed-test
+          demonstrator — NOT in {!all_bugs}, shipped by no version —
+          showing a broken widening surfaces as a witness escape. *)
 
 val all_bugs : bug list
-(** The campaign corpus.  Excludes {!Bug12_narrow_load_const}, which
-    exists only for directed regression tests. *)
+(** The campaign corpus.  Excludes {!Bug12_narrow_load_const} and
+    {!Bug13_widen_tight_exit}, which exist only for directed
+    regression tests. *)
 
 val bug_to_string : bug -> string
 

@@ -18,6 +18,121 @@ let jump_targets (insns : Insn.t array) : (int, unit) Hashtbl.t =
     insns;
   targets
 
+(* Maximum trip count a certified loop may have.  Keeps every accepted
+   loop comfortably inside the interpreter's fuel budget: acceptance
+   still implies the program runs to completion. *)
+let max_certified_trips = 4096l
+
+(* Syntactic termination certificate for the loop headed at [head] —
+   the precondition for state widening.  Widening makes the ABSTRACT
+   walk converge, but convergence alone proves nothing about concrete
+   termination (a counter tested with [!=] converges abstractly at ⊤
+   yet runs for 2^64 iterations).  The accepted-implies-runs-clean
+   oracle needs a trip bound, so widening is reserved for loops whose
+   shape proves one:
+
+     - a single conditional back edge [b]: 64-bit [Jlt]/[Jle] of an
+       induction register against a positive immediate K <=
+       {!max_certified_trips};
+     - the instruction before it is the only write to the induction
+       register in the body: a 64-bit [Add] of a positive immediate;
+     - no jump anywhere targets [b], so every back-edge traversal has
+       just executed the increment.
+
+   Then each traversal leaves ind < K (or <= K) having strictly grown
+   it, so the loop runs at most K+1 times no matter what the abstract
+   states say.  Loops without the certificate keep the pre-widening
+   discipline: bounded unrolling, the zero-progress "infinite loop
+   detected" rejection, and the complexity budgets.
+
+   The analyzer also needs [b] itself at prune time: an arrival at
+   [head] VIA [b] has provably just run the increment (genuine loop
+   progress), while an arrival over any other edge is a forward
+   re-entry from an enclosing cycle.  The zero-progress infinite-loop
+   check must never fire on the former and convergence pruning must
+   never fire on the latter. *)
+let certified_head (insns : Insn.t array) ~(head : int)
+    ~(backs : int list) : bool =
+  match backs with
+  | [ b ] -> (
+    match insns.(b) with
+    | Insn.Jmp
+        { op32 = false; cond = Insn.Jlt | Insn.Jle; dst = ind;
+          src = Insn.Imm k; off = _ }
+      when Int32.compare k 0l > 0
+           && Int32.compare k max_certified_trips <= 0 ->
+      head <= b - 1
+      && (match insns.(b - 1) with
+         | Insn.Alu
+             { op64 = true; op = Insn.Add; dst; src = Insn.Imm c }
+           -> dst = ind && Int32.compare c 0l > 0
+         | _ -> false)
+      && (let only_write = ref true in
+          for pc = head to b - 2 do
+            if List.mem ind (Insn.regs_written insns.(pc)) then
+              only_write := false
+          done;
+          !only_write)
+      && (let increment_dominates = ref true in
+          Array.iteri
+            (fun pc insn ->
+               match insn with
+               | Insn.Jmp { off; _ } | Insn.Ja off
+               | Insn.Call (Insn.Local off) ->
+                 if pc + 1 + off = b then increment_dominates := false
+               | _ -> ())
+            insns;
+          !increment_dominates)
+    | _ -> false)
+  | _ -> false
+
+(* Loop heads: targets of back edges (a jump whose target does not
+   advance the pc), mapped to the certified back-edge pc when the loop
+   is widening-eligible (see {!certified_head}).  Forward joins keep
+   the plain store-and-prune discipline. *)
+let loop_heads (insns : Insn.t array) : (int, int option) Hashtbl.t =
+  let backs : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+  Array.iteri
+    (fun pc insn ->
+       match insn with
+       | Insn.Jmp { off; _ } | Insn.Ja off ->
+         if pc + 1 + off <= pc then
+           Hashtbl.replace backs (pc + 1 + off)
+             (pc
+              :: Option.value
+                   (Hashtbl.find_opt backs (pc + 1 + off))
+                   ~default:[])
+       | _ -> ())
+    insns;
+  let heads = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun head bs ->
+       Hashtbl.replace heads head
+         (if certified_head insns ~head ~backs:bs then
+            Some (List.hd bs)
+          else None))
+    backs;
+  heads
+
+(* Widening thresholds for this program: the fixed set (0, ±1,
+   type-width extrema) plus every branch-comparison constant, in both
+   its sign-extended and zero-extended reading.  A counted loop's exit
+   test is a branch against its bound, so the escaping counter jumps
+   exactly to that bound instead of creeping or overshooting to ⊤. *)
+let harvest_thresholds (insns : Insn.t array) : Regstate.thresholds =
+  let consts = ref [] in
+  Array.iter
+    (fun insn ->
+       match insn with
+       | Insn.Jmp { src = Insn.Imm i; _ } ->
+         consts :=
+           Int64.of_int32 i
+           :: Int64.logand (Int64.of_int32 i) 0xFFFF_FFFFL
+           :: !consts
+       | _ -> ())
+    insns;
+  Regstate.mk_thresholds !consts
+
 let check_cfg (env : Venv.t) : unit =
   let insns = env.Venv.insns in
   let n = Array.length insns in
@@ -184,13 +299,75 @@ let check_main_exit (env : Venv.t) ~(pc : int) : unit =
 
 (* -- Pruning ------------------------------------------------------------ *)
 
-let maybe_prune (env : Venv.t) ~(pc : int)
-    (targets : (int, unit) Hashtbl.t) : bool =
+(* Store the current state at [pc] as a new explored entry — the
+   unrolling fallback when widening does not apply.  A looping path
+   that exhausts the per-insn entry budget can make no further
+   convergence progress: that is the [Loop_unbounded] rejection,
+   distinct from the zero-progress "infinite loop detected" one. *)
+let store_or_unroll (env : Venv.t) ~(pc : int) ~(psig : int)
+    ~(stored : Venv.explored_entry list) ~(looping : bool) : bool =
+  Vstats.prune_miss env.Venv.vst;
+  if List.length stored < Venv.max_explored_per_insn then begin
+    let snapshot = Vstate.copy ~pool:env.Venv.pool env.Venv.st in
+    let e =
+      { Venv.e_state = snapshot; e_branches = 1; e_sig = psig;
+        e_fsig = Vstate.frame_sigs_stored snapshot; e_widens = 0 }
+    in
+    Hashtbl.replace env.Venv.explored pc (e :: stored);
+    env.Venv.ancestors <- e :: env.Venv.ancestors;
+    Vstats.state_stored env.Venv.vst ~at_insn:(List.length stored + 1);
+    if env.Venv.vst.Vstats.vs_total_states > Venv.total_states_limit
+    then begin
+      Venv.cov env "budget:states";
+      Venv.reject env ~reason:Reject_reason.Budget_exhausted ~pc
+        Venv.E2BIG "state budget exhausted: %d states stored"
+        env.Venv.vst.Vstats.vs_total_states
+    end;
+    false
+  end
+  else if looping then begin
+    Venv.cov env "loop:unbounded";
+    Venv.reject env ~reason:Reject_reason.Loop_unbounded ~pc Venv.EINVAL
+      "loop state fails to converge at insn %d" pc
+  end
+  else false
+
+let maybe_prune (env : Venv.t) ~(pc : int) ~(from : int)
+    (targets : (int, unit) Hashtbl.t)
+    (heads : (int, int option) Hashtbl.t) (th : Regstate.thresholds) :
+  bool =
   if not (Hashtbl.mem targets pc) then false
   else begin
     let bug3 = Venv.has_bug env Kconfig.Bug3_backtrack_precision in
+    let cert_b =
+      match Hashtbl.find_opt heads pc with
+      | Some (Some b) -> Some b
+      | _ -> None
+    in
+    (* arrival over the certified back edge: the increment at [b-1]
+       has provably just run, so the loop made genuine progress *)
+    let via_back_edge =
+      match cert_b with Some b -> from = b | None -> false
+    in
     let stored =
       Option.value (Hashtbl.find_opt env.Venv.explored pc) ~default:[]
+    in
+    (* newest in-progress entry of the current path at this pc: the
+       only ancestor entry a certified loop head may widen or
+       converge against.  An OLDER ancestor entry (a previous
+       traversal, re-entered through an enclosing cycle) may well
+       subsume the incoming state — its widened invariant covers the
+       restarted counter — but pruning there would end the path
+       before the outer cycle is re-walked, hiding it from the
+       zero-progress check.  Each re-traversal must converge on its
+       own entry. *)
+    let recent_anc =
+      if cert_b <> None then
+        List.find_opt
+          (fun (e : Venv.explored_entry) ->
+             List.memq e env.Venv.ancestors)
+          stored
+      else None
     in
     (* cheap necessary-condition signatures front the linear scan: most
        stored states are dismissed on an integer compare instead of a
@@ -200,8 +377,16 @@ let maybe_prune (env : Venv.t) ~(pc : int)
     match
       List.find_opt
         (fun (e : Venv.explored_entry) ->
-           if e.Venv.e_sig = psig
-              && Vstate.sigs_compatible ~stored:e.Venv.e_fsig ~probe:pfsig
+           let stale_ancestor =
+             cert_b <> None
+             && (match recent_anc with
+                | Some r -> not (e == r) && List.memq e env.Venv.ancestors
+                | None -> false)
+           in
+           if stale_ancestor then false
+           else if
+             e.Venv.e_sig = psig
+             && Vstate.sigs_compatible ~stored:e.Venv.e_fsig ~probe:pfsig
            then
              Vstate.states_equal ~old:e.Venv.e_state ~cur:env.Venv.st ~bug3
            else begin
@@ -212,12 +397,38 @@ let maybe_prune (env : Venv.t) ~(pc : int)
     with
     | Some e when e.Venv.e_branches > 0 ->
       if List.memq e env.Venv.ancestors then begin
-        (* the current path came back to one of its own states: no loop
-           variable made progress (kernel "infinite loop detected") *)
-        Venv.cov env "prune:loop";
-        Vstats.loop_detected env.Venv.vst;
-        Venv.reject env ~pc Venv.EINVAL
-          "infinite loop detected at insn %d" pc
+        if via_back_edge then begin
+          (* the stored loop invariant absorbed a genuine back-edge
+             arrival: the loop converged.  Pruning against the
+             (in-progress) ancestor is the coinductive fixpoint
+             argument — every behavior below pc is covered by the
+             continuation being explored from the stored state
+             itself; concrete termination is the head's syntactic
+             certificate (the arrival came over the certified back
+             edge, so the bounded increment just ran). *)
+          Venv.logf env
+            "loop at insn %d converged after %d widening round(s)\n" pc
+            e.Venv.e_widens;
+          Venv.cov env "prune:converged";
+          Vstats.prune_hit env.Venv.vst;
+          true
+        end
+        else if cert_b = None then begin
+          (* the current path came back to one of its own states: no
+             loop variable made progress (kernel "infinite loop
+             detected") *)
+          Venv.cov env "prune:loop";
+          Vstats.loop_detected env.Venv.vst;
+          Venv.reject env ~pc Venv.EINVAL
+            "infinite loop detected at insn %d" pc
+        end
+        else
+          (* a certified head re-entered over a forward edge: an
+             enclosing cycle restarted the loop.  Start a fresh
+             unrolling entry so the outer cycle either leaves the
+             loop region, repeats at its own (uncertified) head, or
+             exhausts the per-insn entry budget. *)
+          store_or_unroll env ~pc ~psig ~stored ~looping:true
       end
       else
         (* equal to a sibling's in-progress state: pruning would be
@@ -228,26 +439,64 @@ let maybe_prune (env : Venv.t) ~(pc : int)
       Vstats.prune_hit env.Venv.vst;
       true
     | None ->
-      Vstats.prune_miss env.Venv.vst;
-      if List.length stored < Venv.max_explored_per_insn then begin
-        let snapshot = Vstate.copy ~pool:env.Venv.pool env.Venv.st in
-        let e =
-          { Venv.e_state = snapshot; e_branches = 1; e_sig = psig;
-            e_fsig = Vstate.frame_sigs_stored snapshot }
-        in
-        Hashtbl.replace env.Venv.explored pc (e :: stored);
-        env.Venv.ancestors <- e :: env.Venv.ancestors;
-        Vstats.state_stored env.Venv.vst
-          ~at_insn:(List.length stored + 1);
-        if env.Venv.vst.Vstats.vs_total_states > Venv.total_states_limit
-        then begin
-          Venv.cov env "budget:states";
-          Venv.reject env ~reason:Reject_reason.Budget_exhausted ~pc
-            Venv.E2BIG "state budget exhausted: %d states stored"
-            env.Venv.vst.Vstats.vs_total_states
+      (* a certified loop head reached again by its own path with a
+         state the stored ancestor does not subsume: the induction
+         variable progressed.  Widen the stored state against the
+         incoming one (bounded rounds, the last forcing diverging
+         scalars to ⊤) and continue the walk from the widened state,
+         so the loop body is verified once under the candidate
+         invariant instead of once per unrolled iteration.  Heads
+         without a termination certificate never widen: convergence
+         would prove nothing about their concrete trip count. *)
+      let anc_here = recent_anc in
+      match anc_here with
+      | Some anc
+        when Venv.has_bug env Kconfig.Bug13_widen_tight_exit
+             && anc.Venv.e_widens > 0 ->
+        (* Bug13: the broken widening declares convergence after its
+           first round even though the incoming state escaped the
+           widened range — the loop exit keeps a too-tight bound that
+           the witness oracle exposes at run time. *)
+        Venv.cov env "prune:hit";
+        Vstats.prune_hit env.Venv.vst;
+        true
+      | Some anc when anc.Venv.e_widens < Venv.max_widen_rounds -> begin
+          let force =
+            anc.Venv.e_widens = Venv.max_widen_rounds - 1
+          in
+          match
+            Vstate.widen_state ~pool:env.Venv.pool ~th ~force
+              ~old:anc.Venv.e_state ~cur:env.Venv.st
+          with
+          | Some w ->
+            if env.Venv.config.Kconfig.lint then
+              Venv.record_lint env
+                (Invariants.check_widen_state ~pc ~th
+                   ~old:anc.Venv.e_state ~cur:env.Venv.st ~widened:w);
+            anc.Venv.e_widens <- anc.Venv.e_widens + 1;
+            Venv.logf env "widening loop head at insn %d (round %d%s)\n"
+              pc anc.Venv.e_widens
+            (if force then ", forced" else "");
+            Vstats.widen_round env.Venv.vst;
+            Vstate.release env.Venv.pool anc.Venv.e_state;
+            anc.Venv.e_state <- w;
+            anc.Venv.e_sig <- Vstate.state_sig w;
+            anc.Venv.e_fsig <- Vstate.frame_sigs_stored w;
+            (* the walk continues from the widened state: the incoming
+               (narrower) state is covered by it *)
+            Vstate.release env.Venv.pool env.Venv.st;
+            env.Venv.st <- Vstate.copy ~pool:env.Venv.pool w;
+            Venv.cov env "prune:widen";
+            false
+          | None ->
+            (* structural divergence (pointer kind, frame shape): no
+               sound widening exists; fall back to unrolling *)
+            store_or_unroll env ~pc ~psig ~stored ~looping:true
         end
-      end;
-      false
+      | Some _ ->
+        (* widening rounds exhausted without convergence *)
+        store_or_unroll env ~pc ~psig ~stored ~looping:true
+      | None -> store_or_unroll env ~pc ~psig ~stored ~looping:false
   end
 
 (* -- Main loop ----------------------------------------------------------- *)
@@ -256,7 +505,10 @@ let run (env : Venv.t) : unit =
   check_cfg env;
   let insns = env.Venv.insns in
   let targets = jump_targets insns in
-  env.Venv.branch_stack <- [ (0, env.Venv.st, []) ];
+  let heads = loop_heads insns in
+  let th = harvest_thresholds insns in
+  Vstats.loop_heads_seen env.Venv.vst (Hashtbl.length heads);
+  env.Venv.branch_stack <- [ (0, -1, env.Venv.st, []) ];
   Vstats.branch_pushed env.Venv.vst;
   (* the current path is done: every state it ran under has one fewer
      unfinished descendant.  An entry dropping to zero unfinished paths
@@ -274,13 +526,13 @@ let run (env : Venv.t) : unit =
     end_path ();
     match env.Venv.branch_stack with
     | [] -> ()
-    | (pc, st, ancestors) :: rest ->
+    | (pc, from, st, ancestors) :: rest ->
       Vstats.branch_popped env.Venv.vst;
       env.Venv.branch_stack <- rest;
       env.Venv.st <- st;
       env.Venv.ancestors <- ancestors;
-      walk pc
-  and walk pc =
+      walk ~from pc
+  and walk ~from pc =
     env.Venv.insn_processed <- Vstats.count_insn env.Venv.vst;
     if env.Venv.insn_processed > Venv.insn_processed_limit then
       Venv.reject env ~pc Venv.E2BIG
@@ -288,7 +540,7 @@ let run (env : Venv.t) : unit =
         env.Venv.insn_processed;
     if pc < 0 || pc >= Array.length insns then
       Venv.reject env ~pc Venv.EINVAL "invalid program counter %d" pc;
-    if maybe_prune env ~pc targets then begin
+    if maybe_prune env ~pc ~from targets heads th then begin
       (* the pruned path's state is uniquely owned here: recycle it *)
       Vstate.release env.Venv.pool env.Venv.st;
       next_path ()
@@ -315,13 +567,13 @@ let run (env : Venv.t) : unit =
       match insns.(pc) with
       | Insn.Alu { op64; op; dst; src } ->
         Check_alu.check env ~pc ~op64 op dst src;
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.Endian { swap; bits; dst } ->
         Check_alu.check_endian env ~pc ~swap ~bits dst;
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.Ld_imm64 (dst, kind) ->
         check_ld_imm64 env ~pc dst kind;
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.Ldx { sz; dst; src; off } ->
         Venv.check_reg_write env ~pc dst;
         let size = Insn.size_bytes sz in
@@ -345,25 +597,25 @@ let run (env : Venv.t) : unit =
           else v
         in
         Venv.set_reg env dst v;
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.St { sz; dst; off; imm } ->
         let _ =
           Check_mem.check env ~pc ~access:Check_mem.Awrite ~addr_reg:dst
             ~off ~size:(Insn.size_bytes sz)
             ~stored:(Regstate.const_scalar (Int64.of_int32 imm)) ()
         in
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.Stx { sz; dst; src; off } ->
         let stored = Venv.check_reg_read env ~pc src in
         let _ =
           Check_mem.check env ~pc ~access:Check_mem.Awrite ~addr_reg:dst
             ~off ~size:(Insn.size_bytes sz) ~stored ()
         in
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.Atomic _ as a ->
         Check_mem.check_atomic env ~pc a;
-        walk (pc + 1)
-      | Insn.Ja off -> walk (pc + 1 + off)
+        walk ~from:pc (pc + 1)
+      | Insn.Ja off -> walk ~from:pc (pc + 1 + off)
       | Insn.Jmp { op32; cond; dst; src; off } -> begin
           match Check_jmp.check env ~pc ~op32 cond dst src with
           | Check_jmp.Both (taken, fall) ->
@@ -373,7 +625,7 @@ let run (env : Venv.t) : unit =
                  e.Venv.e_branches <- e.Venv.e_branches + 1)
               env.Venv.ancestors;
             env.Venv.branch_stack <-
-              (pc + 1 + off, taken, env.Venv.ancestors)
+              (pc + 1 + off, pc, taken, env.Venv.ancestors)
               :: env.Venv.branch_stack;
             Vstats.branch_pushed env.Venv.vst;
             if env.Venv.vst.Vstats.vs_branch_depth
@@ -385,27 +637,27 @@ let run (env : Venv.t) : unit =
                 env.Venv.vst.Vstats.vs_branch_depth
             end;
             env.Venv.st <- fall;
-            walk (pc + 1)
+            walk ~from:pc (pc + 1)
           | Check_jmp.Taken_only st ->
             env.Venv.st <- st;
-            walk (pc + 1 + off)
+            walk ~from:pc (pc + 1 + off)
           | Check_jmp.Fall_only st ->
             env.Venv.st <- st;
-            walk (pc + 1)
+            walk ~from:pc (pc + 1)
         end
       | Insn.Call (Insn.Helper id) ->
         Check_call.check_helper env ~pc id;
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.Call (Insn.Kfunc id) ->
         Check_call.check_kfunc env ~pc id;
-        walk (pc + 1)
+        walk ~from:pc (pc + 1)
       | Insn.Call (Insn.Local off) ->
         let target = push_frame env ~pc ~target:(pc + 1 + off) in
-        walk target
+        walk ~from:pc target
       | Insn.Exit ->
         if Vstate.frame_count env.Venv.st > 1 then begin
           let resume = pop_frame env ~pc in
-          walk resume
+          walk ~from:pc resume
         end
         else begin
           check_main_exit env ~pc;

@@ -21,6 +21,8 @@ type check =
   | C_scalar_shape     (* scalars carry no pointer-only fields *)
   | C_ptr_shape        (* packet range only on packet pointers *)
   | C_nullable_id      (* maybe_null pointers carry a non-zero id *)
+  | C_widen_extensive  (* widen old cur subsumes both old and cur *)
+  | C_widen_idempotent (* re-widening the widened state is a no-op *)
 
 let check_to_string = function
   | C_unsigned_order -> "unsigned-order"
@@ -33,6 +35,8 @@ let check_to_string = function
   | C_scalar_shape -> "scalar-shape"
   | C_ptr_shape -> "ptr-shape"
   | C_nullable_id -> "nullable-id"
+  | C_widen_extensive -> "widen-extensive"
+  | C_widen_idempotent -> "widen-idempotent"
 
 type violation = {
   v_check : check;
@@ -135,4 +139,43 @@ let check_state ~(pc : int) (st : Vstate.t) : violation list =
               in
               List.iter (emit loc r) (check_reg r))
          f.Vstate.spills);
+  List.rev !out
+
+(* Lint one widening step at a loop head: the widened state must be
+   extensive — it subsumes (under the pruning order) both the stored
+   state it replaces and the incoming state that triggered the round —
+   and a second widening against the same incoming state must be a
+   no-op (the fixpoint the convergence bound relies on).  A violation
+   here means a widening operator can "forget" behaviors, which is
+   exactly the silent-unsoundness class the sanitizer exists to catch
+   before it ever reaches the witness oracle. *)
+let check_widen_state ~(pc : int) ~(th : Regstate.thresholds)
+    ~(old : Vstate.t) ~(cur : Vstate.t) ~(widened : Vstate.t) :
+  violation list =
+  let out = ref [] in
+  let fail c fmt =
+    Format.kasprintf
+      (fun d ->
+         out :=
+           { v_check = c; v_pc = pc; v_loc = "loop-head";
+             v_reg = ""; v_detail = d }
+           :: !out)
+      fmt
+  in
+  if not (Vstate.states_equal ~old:widened ~cur:old ~bug3:false) then
+    fail C_widen_extensive "widened state drops the stored state";
+  if not (Vstate.states_equal ~old:widened ~cur ~bug3:false) then
+    fail C_widen_extensive "widened state drops the incoming state";
+  (match
+     Vstate.widen_state ~pool:Vstate.no_pool ~th ~force:false ~old:widened
+       ~cur
+   with
+   | None ->
+     fail C_widen_idempotent "re-widening fails structurally"
+   | Some again ->
+     if
+       not
+         (Vstate.states_equal ~old:again ~cur:widened ~bug3:false
+          && Vstate.states_equal ~old:widened ~cur:again ~bug3:false)
+     then fail C_widen_idempotent "re-widening is not a fixpoint");
   List.rev !out

@@ -223,6 +223,99 @@ let reg_within ~(old : t) ~(cur : t) ~(bug3 : bool) : bool =
   | Scalar, (Not_init | Ptr _)
   | Ptr _, (Not_init | Scalar) -> false
 
+(* -- Widening (bounded-loop verification) ------------------------------ *)
+
+(* Threshold sets for range widening, kernel-of-the-Apron-idiom: when a
+   bound escapes during a loop, it jumps outward to the next threshold
+   instead of creeping one step per iteration.  The fixed part covers 0,
+   ±1 and the type-width extrema; the caller adds the branch constants
+   harvested from the program under analysis, which is what lets a
+   counted loop's exit test converge exactly at its bound. *)
+type thresholds = {
+  th_signed : int64 array;   (* sorted ascending, signed *)
+  th_unsigned : int64 array; (* sorted ascending, unsigned *)
+}
+
+let signed_base =
+  [ Int64.min_int; Int64.of_int32 Int32.min_int; -1L; 0L; 1L;
+    Int64.of_int32 Int32.max_int; Int64.max_int ]
+
+let unsigned_base = [ 0L; 1L; 0xFFFF_FFFFL; -1L (* U64_MAX *) ]
+
+let mk_thresholds (consts : int64 list) : thresholds =
+  {
+    th_signed =
+      Array.of_list
+        (List.sort_uniq Int64.compare (signed_base @ consts));
+    th_unsigned =
+      Array.of_list
+        (List.sort_uniq Int64.unsigned_compare (unsigned_base @ consts));
+  }
+
+let no_thresholds : thresholds = mk_thresholds []
+
+(* Largest threshold <= x / smallest >= x under [cmp].  The base sets
+   contain both extrema, so the searches always succeed. *)
+let th_floor (a : int64 array) cmp (x : int64) : int64 =
+  let best = ref a.(0) in
+  Array.iter (fun t -> if cmp t x <= 0 && cmp t !best >= 0 then best := t) a;
+  !best
+
+let th_ceil (a : int64 array) cmp (x : int64) : int64 =
+  let best = ref a.(Array.length a - 1) in
+  Array.iter (fun t -> if cmp t x >= 0 && cmp t !best <= 0 then best := t) a;
+  !best
+
+(* Widen [old] against [cur], both scalars: any bound of [cur] that
+   escaped [old]'s jumps to the next threshold outward; stable bounds
+   keep [old]'s value.  The tnum widens bit-wise (Tnum.widen) and the
+   result is re-synced — [sync] is monotone field-wise and both inputs
+   are sync-stable, so the sync never pulls the result back below
+   either input and the widened register stays [C_sync_stable]. *)
+let widen_scalar ~(th : thresholds) ~(old : t) ~(cur : t) : t =
+  let scmp = Int64.compare and ucmp = Int64.unsigned_compare in
+  let smin =
+    if old.smin <= cur.smin then old.smin
+    else th_floor th.th_signed scmp cur.smin
+  and smax =
+    if old.smax >= cur.smax then old.smax
+    else th_ceil th.th_signed scmp cur.smax
+  and umin =
+    if Word.ule old.umin cur.umin then old.umin
+    else th_floor th.th_unsigned ucmp cur.umin
+  and umax =
+    if Word.uge old.umax cur.umax then old.umax
+    else th_ceil th.th_unsigned ucmp cur.umax
+  in
+  sync
+    { kind = Scalar; off = 0;
+      var_off = Tnum.widen old.var_off cur.var_off;
+      smin; smax; umin; umax; range = 0;
+      precise = old.precise || cur.precise;
+      from_kfunc = old.from_kfunc || cur.from_kfunc }
+
+(* Widen one register pair.  [Some w] is a register subsuming both
+   (under [reg_within]); [None] means the pair diverges in a way no
+   sound scalar widening covers (pointer kind or provenance changed) —
+   the analyzer then falls back to unrolling.  With [force] set (the
+   last widening round at a loop head) diverging scalars go straight
+   to the unknown scalar, which every later scalar is within. *)
+let widen ~(th : thresholds) ~(force : bool) ~(old : t) ~(cur : t) :
+  t option =
+  if reg_within ~old ~cur ~bug3:false then Some old
+  else
+    match old.kind, cur.kind with
+    | Scalar, Scalar ->
+      if force then
+        Some
+          { unknown_scalar with
+            precise = old.precise || cur.precise;
+            from_kfunc = old.from_kfunc || cur.from_kfunc }
+      else Some (widen_scalar ~th ~old ~cur)
+    | _, Not_init -> Some not_init
+    | (Scalar | Ptr _), (Scalar | Ptr _) -> None
+    | Not_init, _ -> Some not_init
+
 let to_string (r : t) : string =
   match r.kind with
   | Not_init -> "?"

@@ -96,6 +96,21 @@ let all : example list =
     mk Reject_reason.Unbounded_loop "constant-condition self loop"
       (plain Prog.Socket_filter
          [ [ mov64_imm R0 0l; jmp_imm Insn.Jeq R0 0l (-1); exit_ ] ]);
+    mk Reject_reason.Loop_unbounded
+      "counted loop whose carried pointer never converges"
+      (* the counter certifies the loop (30 trips), but the
+         loop-carried frame-pointer decrement gives every iteration a
+         structurally different state: pointer pairs with different
+         offsets admit no sound widening, so the analyzer unrolls
+         until the per-insn entry budget is gone *)
+      (plain Prog.Socket_filter
+         [ [ mov64_imm R6 0l;
+             mov64_reg R2 R10;
+             (* head: *)
+             alu64_imm Insn.Add R2 (-8l);
+             alu64_imm Insn.Add R6 1l;
+             jmp_imm Insn.Jlt R6 30l (-3) ];
+           ret 0l ]);
     mk Reject_reason.Insn_limit "call chain deeper than the frame budget"
       (plain Prog.Socket_filter
          [ [ call_local 1; exit_ ];

@@ -27,6 +27,7 @@ type t =
   | Ref_leak
   | Bad_return_value
   | Unbounded_loop
+  | Loop_unbounded
   | Insn_limit
   | Budget_exhausted
   | Bad_cfg
@@ -42,6 +43,7 @@ let all =
   [ Uninit_access; Oob_access; Bad_ctx_access; Null_deref; Ptr_leak;
     Bad_ptr_arith; Type_mismatch; Bad_helper_arg; Helper_unavailable;
     Lock_violation; Ref_leak; Bad_return_value; Unbounded_loop;
+    Loop_unbounded;
     Insn_limit; Budget_exhausted; Bad_cfg; Bad_insn; Bad_map_op; Priv;
     Bad_attach;
     Prog_size; Env_failure; Unknown ]
@@ -60,6 +62,7 @@ let to_string = function
   | Ref_leak -> "ref_leak"
   | Bad_return_value -> "bad_return_value"
   | Unbounded_loop -> "unbounded_loop"
+  | Loop_unbounded -> "loop_unbounded"
   | Insn_limit -> "insn_limit"
   | Budget_exhausted -> "budget_exhausted"
   | Bad_cfg -> "bad_cfg"
@@ -88,6 +91,8 @@ let describe = function
   | Ref_leak -> "acquired reference not released on every path"
   | Bad_return_value -> "R0 outside the program type's return range"
   | Unbounded_loop -> "loop makes no provable progress"
+  | Loop_unbounded ->
+    "loop state fails to converge under bounded widening"
   | Insn_limit -> "verification complexity budget exhausted"
   | Budget_exhausted -> "analysis state or branch budget exhausted"
   | Bad_cfg -> "control flow leaves the program or is unreachable"
@@ -137,6 +142,7 @@ let patterns : (string * t) list =
     ("call stack of", Insn_limit);
     ("state budget exhausted", Budget_exhausted);
     ("branch budget exhausted", Budget_exhausted);
+    ("fails to converge", Loop_unbounded);
     ("infinite loop detected", Unbounded_loop);
     (* privilege: "requires CAP_BPF", "kfunc calls require CAP_BPF" *)
     ("CAP_BPF", Priv);

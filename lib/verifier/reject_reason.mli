@@ -26,6 +26,9 @@ type t =
   | Ref_leak           (** acquired reference not released at exit *)
   | Bad_return_value   (** R0 outside the program type's return range *)
   | Unbounded_loop     (** back-edge with no loop variable progress *)
+  | Loop_unbounded     (** loop state fails to converge under bounded
+                           widening (progress exists but the abstract
+                           state keeps changing structurally) *)
   | Insn_limit         (** complexity budget exhausted (1M-insn analogue) *)
   | Budget_exhausted   (** analyzer state/branch budget hit: a structured
                            rejection where an unbounded walk would hang *)

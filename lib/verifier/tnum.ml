@@ -129,6 +129,28 @@ let union (a : t) (b : t) : t =
   in
   { value = Int64.logand a.value (Int64.lognot mu); mask = mu }
 
+(* Widening: a union that accelerates towards ⊤ so loop analysis
+   converges.  Any bit that becomes unknown in the union but was known
+   in [a] is treated as a counter bit still climbing: it and every bit
+   below it are smeared to unknown at once, so a chain
+   [widen a (step a)] stabilizes in at most O(log 64) rounds instead of
+   one round per bit.  Extensive by construction — the result's mask
+   strictly contains the union's — and idempotent once [a] absorbs
+   [b]. *)
+let widen (a : t) (b : t) : t =
+  let u = union a b in
+  if equal u a then a
+  else begin
+    let grown = Int64.logand u.mask (Int64.lognot a.mask) in
+    let rec smear x n =
+      if n >= 64 then x
+      else smear (Int64.logor x (Int64.shift_right_logical x n)) (2 * n)
+    in
+    let fill = smear grown 1 in
+    { value = Int64.logand u.value (Int64.lognot fill);
+      mask = Int64.logor u.mask fill }
+  end
+
 (* Truncate to the low [size] bytes (zero extension). *)
 let cast (t : t) ~(size : int) : t =
   if size >= 8 then t

@@ -54,6 +54,12 @@ val intersect : t -> t -> t
 val union : t -> t -> t
 (** Join: either operand may hold. *)
 
+val widen : t -> t -> t
+(** [widen a b]: widening join for loop heads.  Contains [union a b];
+    any bit newly unknown relative to [a] is smeared into every lower
+    bit position, so a chain [widen (widen a b) c ...] stabilizes in at
+    most O(log 64) steps instead of one per bit. *)
+
 val cast : t -> size:int -> t
 (** Truncate to the low [size] bytes, zero-extended. *)
 

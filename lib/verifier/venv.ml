@@ -42,10 +42,11 @@ let verr_make ?reason (errno : errno) ~(pc : int) (vmsg : string) : verr =
   { errno; vmsg; vpc = pc; vreason }
 
 type explored_entry = {
-  e_state : Vstate.t;
+  mutable e_state : Vstate.t;
   mutable e_branches : int; (* unfinished paths below this state *)
-  e_sig : int; (* Vstate.state_sig of e_state: cheap pre-filter *)
-  e_fsig : int array; (* per-frame stored-side signatures *)
+  mutable e_sig : int; (* Vstate.state_sig of e_state: cheap pre-filter *)
+  mutable e_fsig : int array; (* per-frame stored-side signatures *)
+  mutable e_widens : int; (* widening rounds applied at this loop head *)
 }
 
 type aux = {
@@ -76,9 +77,11 @@ type t = {
   aux : aux array;
   pool : Vstate.pool; (* recycled states/frames; dies with this load *)
   mutable st : Vstate.t;
-  (* worklist of (pc, state, ancestors): the stored states the pending
-     path runs under *)
-  mutable branch_stack : (int * Vstate.t * explored_entry list) list;
+  (* worklist of (pc, from, state, ancestors): the pc of the jump the
+     pending branch came from (certified loop heads use it to tell a
+     back-edge arrival from a forward re-entry) and the stored states
+     the path runs under *)
+  mutable branch_stack : (int * int * Vstate.t * explored_entry list) list;
   (* stored states per pc.  An entry with [e_branches > 0] still has
      unfinished paths below it (the kernel's branches counter): pruning
      against it is unsound; matching one of the CURRENT path's own
@@ -100,6 +103,12 @@ type t = {
 let insn_processed_limit = 100_000
 let max_explored_per_insn = 24
 let max_call_depth = 4
+
+(* Widening rounds granted per loop-head entry before the last round
+   forces diverging scalars to ⊤.  With branch-constant thresholds a
+   counted loop converges in 2-3 rounds; the force round is the
+   backstop that bounds every chain. *)
+let max_widen_rounds = 4
 
 (* Hard analysis budgets (total stored states, pending-branch depth).
    Pathological branch explosion hits these long before wall-clock

@@ -455,3 +455,67 @@ let sigs_compatible ~(stored : int array) ~(probe : int array) : bool =
         && go (i + 1))
   in
   go 0
+
+(* -- Widening (bounded-loop verification) ------------------------------ *)
+
+(* Widen a stored loop-head state [old] against an incoming state
+   [cur]: a fresh state subsuming both under [states_equal], or [None]
+   when the pair diverges structurally (frame shape, bookkeeping, or a
+   register pair no sound widening covers) and the analyzer must fall
+   back to unrolling.
+
+   Register pairs widen through [Regstate.widen].  Stack bytes join
+   down the classification lattice: equal bytes stay, any side
+   never-written makes the byte never-written (a read must still
+   reject — the kernel's STACK_INVALID meet), and any other
+   disagreement degrades to written-unknown.  A spill slot present on
+   both sides widens as a register; a slot [old] tracked but [cur]
+   lost degrades to untracked (its bytes are handled by the byte
+   rule). *)
+let widen_state ~(pool : pool) ~(th : Regstate.thresholds)
+    ~(force : bool) ~(old : t) ~(cur : t) : t option =
+  if
+    old.nframes <> cur.nframes
+    || old.active_lock <> cur.active_lock
+    || List.length old.refs <> List.length cur.refs
+  then None
+  else begin
+    let out = copy ~pool old in
+    let ok = ref true in
+    (try
+       for i = 0 to old.nframes - 1 do
+         let of_ = old.frames.(i)
+         and cf = cur.frames.(i)
+         and wf = out.frames.(i) in
+         if of_.callsite <> cf.callsite then raise Exit;
+         for r = 0 to 10 do
+           match
+             Regstate.widen ~th ~force ~old:of_.regs.(r) ~cur:cf.regs.(r)
+           with
+           | Some w -> wf.regs.(r) <- w
+           | None -> raise Exit
+         done;
+         for b = 0 to stack_bytes - 1 do
+           let ob = Bytes.get of_.stack b and cb = Bytes.get cf.stack b in
+           if ob <> cb then
+             Bytes.set wf.stack b
+               (if ob = b_invalid || cb = b_invalid then b_invalid
+                else b_misc)
+         done;
+         for slot = 0 to spill_slots - 1 do
+           match of_.spills.(slot), cf.spills.(slot) with
+           | None, _ -> ()
+           | Some _, None -> wf.spills.(slot) <- None
+           | Some o, Some c -> (
+             match Regstate.widen ~th ~force ~old:o ~cur:c with
+             | Some w -> wf.spills.(slot) <- Some w
+             | None -> wf.spills.(slot) <- None)
+         done
+       done
+     with Exit -> ok := false);
+    if !ok then Some out
+    else begin
+      release pool out;
+      None
+    end
+  end

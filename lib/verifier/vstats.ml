@@ -45,6 +45,14 @@ type t = {
          measures the cost model of the comparison, not the analysis
          result, and adding it to the canonical schema would break
          [Veristat.of_json] on committed baselines. *)
+  mutable vs_widen_rounds : int;
+      (* widening rounds applied at loop heads.  Outside [counters]
+         for the same frozen-schema reason as vs_prune_hash_skips;
+         [loops_detected] keeps its historical meaning (zero-progress
+         infinite-loop rejections) untouched. *)
+  mutable vs_loop_heads : int;
+      (* back-edge targets in the program's CFG (also outside the
+         frozen schema) *)
 }
 
 let zero () : t =
@@ -60,6 +68,8 @@ let zero () : t =
     vs_branch_depth = 0;
     vs_branch_hwm = 0;
     vs_prune_hash_skips = 0;
+    vs_widen_rounds = 0;
+    vs_loop_heads = 0;
   }
 
 (* -- Analysis-loop hooks ------------------------------------------------ *)
@@ -87,6 +97,11 @@ let prune_hash_skip (t : t) : unit =
 
 let loop_detected (t : t) : unit =
   t.vs_loops_detected <- t.vs_loops_detected + 1
+
+let widen_round (t : t) : unit =
+  t.vs_widen_rounds <- t.vs_widen_rounds + 1
+
+let loop_heads_seen (t : t) (n : int) : unit = t.vs_loop_heads <- n
 
 let branch_pushed (t : t) : unit =
   t.vs_branch_depth <- t.vs_branch_depth + 1;
@@ -143,6 +158,8 @@ type agg = {
   mutable ag_prune_hits : int;
   mutable ag_prune_misses : int;
   mutable ag_loops_detected : int;
+  mutable ag_widen_rounds : int;
+  mutable ag_loop_heads : int;
   mutable ag_peak_states_max : int;
   mutable ag_max_states_per_insn : int;
   mutable ag_branch_hwm_max : int;
@@ -158,6 +175,8 @@ let agg_zero () : agg =
     ag_prune_hits = 0;
     ag_prune_misses = 0;
     ag_loops_detected = 0;
+    ag_widen_rounds = 0;
+    ag_loop_heads = 0;
     ag_peak_states_max = 0;
     ag_max_states_per_insn = 0;
     ag_branch_hwm_max = 0;
@@ -172,6 +191,8 @@ let agg_add (a : agg) (t : t) : unit =
   a.ag_prune_hits <- a.ag_prune_hits + t.vs_prune_hits;
   a.ag_prune_misses <- a.ag_prune_misses + t.vs_prune_misses;
   a.ag_loops_detected <- a.ag_loops_detected + t.vs_loops_detected;
+  a.ag_widen_rounds <- a.ag_widen_rounds + t.vs_widen_rounds;
+  a.ag_loop_heads <- a.ag_loop_heads + t.vs_loop_heads;
   if t.vs_peak_states > a.ag_peak_states_max then
     a.ag_peak_states_max <- t.vs_peak_states;
   if t.vs_max_states_per_insn > a.ag_max_states_per_insn then
@@ -193,6 +214,8 @@ let agg_absorb (into : agg) (src : agg) : unit =
   into.ag_prune_misses <- into.ag_prune_misses + src.ag_prune_misses;
   into.ag_loops_detected <-
     into.ag_loops_detected + src.ag_loops_detected;
+  into.ag_widen_rounds <- into.ag_widen_rounds + src.ag_widen_rounds;
+  into.ag_loop_heads <- into.ag_loop_heads + src.ag_loop_heads;
   if src.ag_peak_states_max > into.ag_peak_states_max then
     into.ag_peak_states_max <- src.ag_peak_states_max;
   if src.ag_max_states_per_insn > into.ag_max_states_per_insn then
@@ -220,10 +243,12 @@ let agg_digest_lines (a : agg) : string list =
   in
   Printf.sprintf
     "vstats programs %d insn_processed %d total_states %d prune %d/%d \
-     loops %d peak_max %d per_insn_max %d branch_hwm_max %d"
+     loops %d widen %d heads %d peak_max %d per_insn_max %d \
+     branch_hwm_max %d"
     a.ag_programs a.ag_insn_processed a.ag_total_states a.ag_prune_hits
-    a.ag_prune_misses a.ag_loops_detected a.ag_peak_states_max
-    a.ag_max_states_per_insn a.ag_branch_hwm_max
+    a.ag_prune_misses a.ag_loops_detected a.ag_widen_rounds
+    a.ag_loop_heads a.ag_peak_states_max a.ag_max_states_per_insn
+    a.ag_branch_hwm_max
   :: (hist "insn" a.ag_hist_insn @ hist "peak" a.ag_hist_peak)
 
 let pp_agg fmt (a : agg) : unit =
@@ -231,7 +256,8 @@ let pp_agg fmt (a : agg) : unit =
     Format.fprintf fmt
       "  verifier: %d programs analyzed, %d insns processed, %d states \
        (peak %d, max %d/insn), prune %d hits / %d misses, %d loops, \
-       branch queue depth <= %d@."
+       %d widen rounds over %d loop heads, branch queue depth <= %d@."
       a.ag_programs a.ag_insn_processed a.ag_total_states
       a.ag_peak_states_max a.ag_max_states_per_insn a.ag_prune_hits
-      a.ag_prune_misses a.ag_loops_detected a.ag_branch_hwm_max
+      a.ag_prune_misses a.ag_loops_detected a.ag_widen_rounds
+      a.ag_loop_heads a.ag_branch_hwm_max

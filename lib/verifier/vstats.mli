@@ -31,6 +31,14 @@ type t = {
           of no digest, JSON table or veristat baseline: it measures the
           comparison's cost model, not the analysis result, and the
           canonical counter schema is frozen by committed baselines. *)
+  mutable vs_widen_rounds : int;
+      (** widening rounds applied at loop heads.  Outside {!counters}
+          for the same frozen-schema reason as [vs_prune_hash_skips];
+          [vs_loops_detected] keeps its historical meaning
+          (zero-progress infinite-loop rejections). *)
+  mutable vs_loop_heads : int;
+      (** back-edge targets in the program's CFG (also outside the
+          frozen schema) *)
 }
 
 val zero : unit -> t
@@ -56,6 +64,13 @@ val prune_hash_skip : t -> unit
     [states_equal] never ran against it). *)
 
 val loop_detected : t -> unit
+
+val widen_round : t -> unit
+(** One widening application at a loop head. *)
+
+val loop_heads_seen : t -> int -> unit
+(** Record the program's loop-head count (back-edge targets). *)
+
 val branch_pushed : t -> unit
 val branch_popped : t -> unit
 
@@ -87,6 +102,8 @@ type agg = {
   mutable ag_prune_hits : int;
   mutable ag_prune_misses : int;
   mutable ag_loops_detected : int;
+  mutable ag_widen_rounds : int;
+  mutable ag_loop_heads : int;
   mutable ag_peak_states_max : int;
   mutable ag_max_states_per_insn : int;
   mutable ag_branch_hwm_max : int;

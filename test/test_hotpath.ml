@@ -181,13 +181,27 @@ let narrow_load_not_in_corpus () =
 (* -- Counter-schema guard ------------------------------------------------- *)
 
 (* The schema is frozen by the committed veristat baseline; internal
-   diagnostics (the prune-filter skip counter) must not leak into it. *)
+   diagnostics (the prune-filter skip counter) and the loop-widening
+   counters must not leak into it. *)
 let counter_schema () =
   Alcotest.(check (list string)) "veristat counter schema"
     [ "insn_processed"; "total_states"; "peak_states";
       "max_states_per_insn"; "prune_hits"; "prune_misses";
       "loops_detected"; "branch_hwm" ]
-    Vstats.counter_names
+    Vstats.counter_names;
+  (* widen_rounds / loop_heads postdate the frozen schema: they ride in
+     the telemetry trace and the campaign aggregate, never in the
+     canonical counter list a committed baseline would parse.  And
+     loops_detected keeps its historical meaning — zero-progress
+     infinite-loop rejections — so a widening loop that converges must
+     leave it untouched. *)
+  List.iter
+    (fun name ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s outside the frozen schema" name)
+         false
+         (List.mem name Vstats.counter_names))
+    [ "widen_rounds"; "loop_heads"; "prune_hash_skips" ]
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in

@@ -416,6 +416,51 @@ let tnum_shift_cast_sound =
        && Tnum.contains (Tnum.cast ta ~size:2) (Int64.logand a 0xFFFFL)
        && Tnum.contains (Tnum.cast ta ~size:1) (Int64.logand a 0xFFL))
 
+(* -- Widening at loop heads --------------------------------------------------- *)
+
+(* Threshold sets harvested from arbitrary programs: any boundary
+   constants, on top of the fixed base the module always includes. *)
+let gen_threshold_consts : int64 list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 0 6) gen_int64_boundary)
+
+(* Tnum widening is extensive (absorbs both arguments, hence their
+   union) and idempotent: once [b] is absorbed, widening against it
+   again changes nothing — the loop-head chain stabilizes. *)
+let tnum_widen_sound =
+  QCheck2.Test.make ~count:3000 ~long_factor:10
+    ~name:"tnum widen absorbs both sides and stabilizes"
+    QCheck2.Gen.(pair gen_tnum_member gen_tnum_member)
+    (fun ((ta, a), (tb, b)) ->
+       let w = Tnum.widen ta tb in
+       Tnum.contains w a && Tnum.contains w b
+       && Tnum.subset ~of_:w ta
+       && Tnum.subset ~of_:w tb
+       && Tnum.subset ~of_:w (Tnum.union ta tb)
+       && Tnum.widen w tb = w)
+
+(* Register widening under arbitrary thresholds: the result subsumes
+   both inputs ([reg_within], the analyzer's pruning order) and keeps
+   both concrete members; a second round against the same incoming
+   state is the identity.  gen_abstract only builds sync-stable
+   scalars, matching what the analyzer feeds the operator. *)
+let reg_widen_sound =
+  QCheck2.Test.make ~count:3000 ~long_factor:10
+    ~name:"range widening absorbs both sides and stabilizes"
+    QCheck2.Gen.(quad gen_threshold_consts bool gen_abstract gen_abstract)
+    (fun (consts, force, (old_r, a), (cur_r, b)) ->
+       let th = Regstate.mk_thresholds consts in
+       match Regstate.widen ~th ~force ~old:old_r ~cur:cur_r with
+       | None ->
+         QCheck2.Test.fail_reportf "scalar pair refused to widen: %s / %s"
+           (Regstate.to_string old_r) (Regstate.to_string cur_r)
+       | Some w ->
+         member w a && member w b
+         && Regstate.reg_within ~old:w ~cur:old_r ~bug3:false
+         && Regstate.reg_within ~old:w ~cur:cur_r ~bug3:false
+         && (match Regstate.widen ~th ~force ~old:w ~cur:cur_r with
+             | Some w' -> w' = w
+             | None -> false))
+
 (* -- Branch transfer functions (Check_jmp) ----------------------------------- *)
 
 let conds =
@@ -819,6 +864,8 @@ let () =
         [ qt tnum_member_bounds; qt tnum_range_sound; qt tnum_subset_sound;
           qt tnum_meet_join_sound; qt tnum_ops_boundary_sound;
           qt tnum_shift_cast_sound ] );
+      ( "widening",
+        [ qt tnum_widen_sound; qt reg_widen_sound ] );
       ( "branch transfer",
         [ qt jmp_verdict_sound; qt jmp_refine_sound;
           Alcotest.test_case "w-Jsgt sign-extension regression" `Quick

@@ -152,7 +152,8 @@ let sample_events : Telemetry.event list =
     Vstats
       { iter = 2; insn_processed = 48; total_states = 6; peak_states = 3;
         max_states_per_insn = 2; prune_hits = 1; prune_misses = 5;
-        loops_detected = 0; branch_hwm = 4 };
+        loops_detected = 0; branch_hwm = 4; widen_rounds = 3;
+        loop_heads = 1 };
     Finding
       { iter = 3; fingerprint = "oracle:xyz"; bug = None;
         correctness = true };
@@ -177,7 +178,21 @@ let test_jsonl_round_trip () =
   Alcotest.(check (option event)) "foreign JSON skipped" None
     (Telemetry.of_json {|{"ev":"someday","iter":3}|});
   Alcotest.(check (option event)) "garbage skipped" None
-    (Telemetry.of_json "not json at all")
+    (Telemetry.of_json "not json at all");
+  (* the loop counters postdate the vstats schema: a pre-loop trace
+     line without them must still parse, defaulting both to zero *)
+  Alcotest.(check (option event)) "pre-loop vstats line parses"
+    (Some
+       (Telemetry.Vstats
+          { iter = 9; insn_processed = 10; total_states = 2;
+            peak_states = 1; max_states_per_insn = 1; prune_hits = 0;
+            prune_misses = 2; loops_detected = 0; branch_hwm = 1;
+            widen_rounds = 0; loop_heads = 0 }))
+    (Telemetry.of_json
+       ({|{"ev":"vstats","iter":9,"insn_processed":10,|}
+        ^ {|"total_states":2,"peak_states":1,"max_states_per_insn":1,|}
+        ^ {|"prune_hits":0,"prune_misses":2,"loops_detected":0,|}
+        ^ {|"branch_hwm":1}|}))
 
 let test_summarize_counts () =
   let s = Telemetry.summarize sample_events in
@@ -202,7 +217,10 @@ let test_summarize_counts () =
       v.Telemetry.vsu_insn_processed.Telemetry.d_p50
       v.Telemetry.vsu_insn_processed.Telemetry.d_p95;
     Alcotest.(check int) "vstats peak total" 3
-      v.Telemetry.vsu_peak_states.Telemetry.d_total
+      v.Telemetry.vsu_peak_states.Telemetry.d_total;
+    Alcotest.(check int) "vstats widen total" 3
+      v.Telemetry.vsu_widen_rounds.Telemetry.d_total;
+    Alcotest.(check int) "vstats loop heads" 1 v.Telemetry.vsu_loop_heads
 
 (* -- trace vs campaign stats ----------------------------------------------- *)
 
