@@ -35,6 +35,8 @@ module Selftests = Bvf_core.Selftests
 module Rng = Bvf_core.Rng
 module Gen = Bvf_core.Gen
 module Supervisor = Bvf_core.Supervisor
+module Service = Bvf_core.Service
+module Vcache = Bvf_core.Vcache
 module E = Bvf_experiments.Experiments
 
 open Cmdliner
@@ -639,7 +641,7 @@ let repro_cmd =
 (* -- selftests --------------------------------------------------------------- *)
 
 let selftests_cmd =
-  let run version count dump =
+  let run version count dump export =
     let suite = Selftests.build ~count version in
     Printf.printf "built %d self-test programs for %s\n"
       (List.length suite.Selftests.requests)
@@ -650,7 +652,47 @@ let selftests_cmd =
            Printf.printf "--- selftest %d (%s) ---\n" i
              (Bvf_ebpf.Prog.prog_type_to_string req.Verifier.r_prog_type);
            print_string (Disasm.prog_to_string req.Verifier.r_insns))
-        suite.Selftests.requests
+        suite.Selftests.requests;
+    match export with
+    | None -> ()
+    | Some path ->
+      (* batch-ready corpus: a JSONL request file, or a directory of
+         wire-format programs — the two input shapes bvf batch takes *)
+      let requests =
+        List.mapi
+          (fun i req ->
+             { Service.q_id = Printf.sprintf "selftest-%04d" i;
+               q_req = req })
+          suite.Selftests.requests
+      in
+      if Filename.check_suffix path ".jsonl" then begin
+        let oc = open_out path in
+        List.iter
+          (fun r ->
+             output_string oc (Service.request_to_json r);
+             output_char oc '\n')
+          requests;
+        close_out oc;
+        Printf.printf "exported %d requests to %s\n"
+          (List.length requests) path
+      end
+      else begin
+        if not (Sys.file_exists path) then Sys.mkdir path 0o755;
+        List.iter
+          (fun (r : Service.request) ->
+             let name =
+               Printf.sprintf "%s.%s.bin" r.Service.q_id
+                 (Prog.prog_type_to_string
+                    r.Service.q_req.Verifier.r_prog_type)
+             in
+             let oc = open_out_bin (Filename.concat path name) in
+             output_bytes oc
+               (Bvf_ebpf.Encode.encode r.Service.q_req.Verifier.r_insns);
+             close_out oc)
+          requests;
+        Printf.printf "exported %d wire-format programs to %s/\n"
+          (List.length requests) path
+      end
   in
   Cmd.v
     (Cmd.info "selftests" ~doc:"Build and optionally dump the self-test corpus.")
@@ -659,7 +701,13 @@ let selftests_cmd =
                  & info [ "count"; "c" ] ~docv:"N"
                    ~doc:"Number of programs to build.")
           $ Arg.(value & flag
-                 & info [ "dump" ] ~doc:"Disassemble every program."))
+                 & info [ "dump" ] ~doc:"Disassemble every program.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "export" ] ~docv:"PATH"
+                   ~doc:"Export the corpus for $(b,bvf batch): to a \
+                         JSONL request file if $(docv) ends in .jsonl, \
+                         otherwise to a directory of wire-format \
+                         $(i,NAME.PROGTYPE.bin) programs."))
 
 (* -- lint --------------------------------------------------------------------- *)
 
@@ -1000,6 +1048,177 @@ let merge_cmd =
                  & info [] ~docv:"CHECKPOINT"
                    ~doc:"Checkpoint files to merge."))
 
+(* -- batch / serve (the service layer, docs/SERVICE.md) ----------------------- *)
+
+let cache_size_t =
+  Arg.(value & opt int 65536
+       & info [ "cache-size" ] ~docv:"N"
+         ~doc:"Verdict-cache capacity (entries); least recently used \
+               verdicts are evicted beyond it.")
+
+let cache_file_t =
+  Arg.(value & opt (some string) None
+       & info [ "cache-file" ] ~docv:"PATH"
+         ~doc:"Persist the verdict cache: loaded at startup when \
+               $(docv) exists, saved (atomic write-then-rename) on \
+               exit.  A damaged file is exit 4, like a damaged \
+               checkpoint.")
+
+let load_cache ~(cache_file : string option) ~(cache_size : int)
+  : Vcache.t =
+  if cache_size < 1 then begin
+    Printf.eprintf "bvf: --cache-size must be >= 1\n";
+    exit 2
+  end;
+  match cache_file with
+  | Some path when Sys.file_exists path ->
+    (match Vcache.load ~path ~cap:cache_size with
+     | Ok cache -> cache
+     | Error e ->
+       Printf.eprintf "bvf: cannot load cache %s: %s\n" path
+         (Checkpoint.error_to_string e);
+       exit (checkpoint_exit_code e))
+  | Some _ | None -> Vcache.create ~cap:cache_size
+
+let save_cache (cache : Vcache.t) ~(cache_file : string option) : unit =
+  match cache_file with
+  | None -> ()
+  | Some path ->
+    (match Vcache.save cache ~path with
+     | Ok () -> ()
+     | Error e ->
+       Printf.eprintf "bvf: cannot save cache %s: %s\n" path
+         (Checkpoint.error_to_string e);
+       exit 3)
+
+let batch_cmd =
+  let run version jobs cache_size cache_file out trace log_level
+      selftests count inputs =
+    if jobs < 1 then begin
+      Printf.eprintf "bvf batch: --jobs must be >= 1\n";
+      exit 2
+    end;
+    let config = Kconfig.fixed version in
+    let inputs =
+      match selftests, inputs with
+      | true, [] ->
+        let suite = Selftests.build ~count version in
+        List.mapi
+          (fun i req ->
+             { Service.in_id = Printf.sprintf "selftest-%04d" i;
+               in_req = Ok req })
+          suite.Selftests.requests
+      | true, _ :: _ ->
+        Printf.eprintf
+          "bvf batch: --selftests and an input path are exclusive\n";
+        exit 2
+      | false, [ path ] ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "bvf batch: no such input: %s\n" path;
+          exit 3
+        end;
+        if Sys.is_directory path then Service.read_dir path
+        else Service.read_jsonl path
+      | false, _ ->
+        Printf.eprintf
+          "bvf batch: takes exactly one input (a JSONL file or a \
+           directory), or --selftests\n";
+        exit 2
+    in
+    let cache = load_cache ~cache_file ~cache_size in
+    let sink =
+      match trace with
+      | Some path -> Telemetry.create path
+      | None -> Telemetry.null
+    in
+    let items, summary =
+      Service.run_batch ~log_level ~sink ~jobs ~cache config inputs
+    in
+    Telemetry.close sink;
+    save_cache cache ~cache_file;
+    let oc, close =
+      match out with
+      | Some path -> let oc = open_out path in (oc, fun () -> close_out oc)
+      | None -> (stdout, fun () -> Stdlib.flush stdout)
+    in
+    List.iter
+      (fun it ->
+         output_string oc (Service.item_to_json it);
+         output_char oc '\n')
+      items;
+    close ();
+    (* results on stdout (or --out), the timed summary on stderr:
+       stdout stays pure, deterministic JSONL *)
+    Printf.eprintf "%s\n" (Service.summary_to_json summary)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Verify a batch of programs as a service: JSONL requests \
+             (or a directory of wire-format programs, or the self-test \
+             corpus) in, one JSONL verdict per program out, with the \
+             content-addressed verdict cache in front and misses \
+             verified across --jobs domains.  Per-program output is \
+             deterministic up to the trailing cache field; the summary \
+             (stderr) carries the only wall times.  See docs/SERVICE.md.")
+    Term.(const run $ version_t $ jobs_t $ cache_size_t $ cache_file_t
+          $ Arg.(value & opt (some string) None
+                 & info [ "out"; "o" ] ~docv:"PATH"
+                   ~doc:"Write per-program results to $(docv) instead \
+                         of stdout.")
+          $ trace_t $ log_level_t
+          $ Arg.(value & flag
+                 & info [ "selftests" ]
+                   ~doc:"Batch the self-test corpus instead of reading \
+                         an input path.")
+          $ Arg.(value & opt int 708
+                 & info [ "count"; "c" ] ~docv:"N"
+                   ~doc:"With --selftests: corpus size.")
+          $ Arg.(value & pos_all string []
+                 & info [] ~docv:"INPUT"
+                   ~doc:"A JSONL request file or a directory of \
+                         $(i,.bin)/$(i,.hex) wire-format programs."))
+
+let serve_cmd =
+  let run version cache_size cache_file trace log_level =
+    let config = Kconfig.fixed version in
+    let cache = load_cache ~cache_file ~cache_size in
+    let sink =
+      match trace with
+      | Some path -> Telemetry.create path
+      | None -> Telemetry.null
+    in
+    (* same drain contract as bvf fuzz: SIGINT/SIGTERM finish the
+       in-flight request, persist the cache and exit 128+signal *)
+    let stop_sig = ref 0 in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> stop_sig := 130));
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> stop_sig := 143));
+    let session = Service.create_session config in
+    let stats =
+      Service.serve ~log_level ~sink ~cache ~session
+        ~stop:(fun () -> !stop_sig <> 0)
+        stdin stdout
+    in
+    Telemetry.close sink;
+    save_cache cache ~cache_file;
+    Printf.eprintf
+      "served %d requests (%d admitted, %d rejected, %d invalid); \
+       cache %d hits / %d misses\n"
+      stats.Service.sv_requests stats.Service.sv_admitted
+      stats.Service.sv_rejected stats.Service.sv_invalid
+      stats.Service.sv_hits stats.Service.sv_misses;
+    if !stop_sig <> 0 then exit !stop_sig
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the verifier as a long-lived service: one JSONL \
+             request per stdin line, one flushed JSONL verdict per \
+             stdout line, the verdict cache in front, until EOF or a \
+             graceful SIGINT/SIGTERM drain.  See docs/SERVICE.md.")
+    Term.(const run $ version_t $ cache_size_t $ cache_file_t $ trace_t
+          $ log_level_t)
+
 (* -- experiments -------------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -1033,4 +1252,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ fuzz_cmd; explain_cmd; stats_cmd; veristat_cmd;
                       cov_cmd; merge_cmd; repro_cmd; selftests_cmd;
-                      lint_cmd; experiments_cmd ]))
+                      lint_cmd; batch_cmd; serve_cmd; experiments_cmd ]))

@@ -59,12 +59,33 @@ type event =
       exec_s : float;
       wall_s : float;
     }
+  (* service (bvf batch / bvf serve) admission events: one cache event
+     and one verdict event per request, keyed by the request's verdict
+     cache key.  Deterministic except for the hit/miss split, which
+     depends on what the cache has seen — which is why batch results
+     carry the verdicts, and only traces carry the cache traffic. *)
+  | Service_hit of { seq : int; key : string }
+  | Service_miss of { seq : int; key : string }
+  | Service_admitted of {
+      seq : int;
+      key : string;
+      insns : int;
+      insn_processed : int;
+    }
+  | Service_rejected of {
+      seq : int;
+      key : string;
+      reason : Bvf_verifier.Reject_reason.t;
+    }
 
 let iter_of = function
   | Generated { iter; _ } | Accepted { iter; _ } | Rejected { iter; _ }
   | Finding { iter; _ } | Vstats { iter; _ } | Checkpoint { iter }
   | Quarantined { iter } ->
     Some iter
+  | Service_hit { seq; _ } | Service_miss { seq; _ }
+  | Service_admitted { seq; _ } | Service_rejected { seq; _ } ->
+    Some seq
   | Shard_merge _ | Profile _ -> None
 
 (* -- JSON encoding -------------------------------------------------- *)
@@ -121,6 +142,16 @@ let to_json (ev : event) : string =
      int "widen_rounds" widen_rounds; int "loop_heads" loop_heads
    | Checkpoint { iter } -> tag "checkpoint"; int "iter" iter
    | Quarantined { iter } -> tag "quarantined"; int "iter" iter
+   | Service_hit { seq; key } ->
+     tag "cache_hit"; int "seq" seq; str "key" key
+   | Service_miss { seq; key } ->
+     tag "cache_miss"; int "seq" seq; str "key" key
+   | Service_admitted { seq; key; insns; insn_processed } ->
+     tag "service_admitted"; int "seq" seq; str "key" key;
+     int "insns" insns; int "insn_processed" insn_processed
+   | Service_rejected { seq; key; reason } ->
+     tag "service_rejected"; int "seq" seq; str "key" key;
+     str "reason" (Reject_reason.to_string reason)
    | Shard_merge { shards; events } ->
      tag "shard_merge"; int "shards" shards; int "events" events
    | Profile { programs; gen_s; verify_s; sanitize_s; exec_s; wall_s } ->
@@ -299,6 +330,21 @@ let of_json (line : string) : event option =
                      loop_heads = int0 "loop_heads" })
     | "checkpoint" -> Some (Checkpoint { iter = int "iter" })
     | "quarantined" -> Some (Quarantined { iter = int "iter" })
+    | "cache_hit" ->
+      Some (Service_hit { seq = int "seq"; key = str "key" })
+    | "cache_miss" ->
+      Some (Service_miss { seq = int "seq"; key = str "key" })
+    | "service_admitted" ->
+      Some (Service_admitted { seq = int "seq"; key = str "key";
+                               insns = int "insns";
+                               insn_processed = int "insn_processed" })
+    | "service_rejected" ->
+      let reason =
+        match Reject_reason.of_string (str "reason") with
+        | Some r -> r
+        | None -> Reject_reason.Unknown
+      in
+      Some (Service_rejected { seq = int "seq"; key = str "key"; reason })
     | "shard_merge" ->
       Some (Shard_merge { shards = int "shards"; events = int "events" })
     | "profile" ->
@@ -333,6 +379,10 @@ let map_iter (f : int -> int) (ev : event) : event =
   | Vstats e -> Vstats { e with iter = f e.iter }
   | Checkpoint { iter } -> Checkpoint { iter = f iter }
   | Quarantined { iter } -> Quarantined { iter = f iter }
+  (* service traces are never sharded: the sequence number is already
+     global *)
+  | Service_hit _ | Service_miss _ | Service_admitted _
+  | Service_rejected _
   | Shard_merge _ | Profile _ -> ev
 
 let emit (t : sink) (ev : event) : unit =
@@ -429,6 +479,14 @@ type vstats_summary = {
   vsu_loop_heads : int;       (* loop heads across all analyses *)
 }
 
+type service_summary = {
+  ssu_requests : int;   (* verdict events: admitted + rejected *)
+  ssu_hits : int;
+  ssu_misses : int;
+  ssu_admitted : int;
+  ssu_rejected : int;
+}
+
 type summary = {
   su_events : int;
   su_generated : int;
@@ -440,6 +498,7 @@ type summary = {
   su_by_type : (string * (int * int)) list;
   su_reasons : (Reject_reason.t * int) list;
   su_vstats : vstats_summary option;
+  su_service : service_summary option;
   su_profile : event option;
 }
 
@@ -458,6 +517,8 @@ let summarize (events : event list) : summary =
   let profile = ref None in
   let vs_insn = ref [] and vs_peak = ref [] and vs_count = ref 0 in
   let vs_widen = ref [] and vs_heads = ref 0 in
+  let sv_hits = ref 0 and sv_misses = ref 0 in
+  let sv_admitted = ref 0 and sv_rejected = ref 0 in
   let bump_type pt ~acc =
     let g, a = Option.value (Hashtbl.find_opt by_type pt) ~default:(0, 0)
     in
@@ -484,6 +545,13 @@ let summarize (events : event list) : summary =
          vs_heads := !vs_heads + loop_heads
        | Checkpoint _ -> incr checkpoints
        | Quarantined _ -> incr quarantined
+       | Service_hit _ -> incr sv_hits
+       | Service_miss _ -> incr sv_misses
+       | Service_admitted _ -> incr sv_admitted
+       | Service_rejected { reason; _ } ->
+         incr sv_rejected;
+         Hashtbl.replace reasons reason
+           (1 + Option.value (Hashtbl.find_opt reasons reason) ~default:0)
        | Shard_merge _ -> ()
        | Profile _ -> profile := Some ev)
     events;
@@ -514,6 +582,15 @@ let summarize (events : event list) : summary =
              vsu_peak_states = dist_of !vs_peak;
              vsu_widen_rounds = dist_of !vs_widen;
              vsu_loop_heads = !vs_heads });
+    su_service =
+      (if !sv_hits + !sv_misses + !sv_admitted + !sv_rejected = 0 then None
+       else
+         Some
+           { ssu_requests = !sv_admitted + !sv_rejected;
+             ssu_hits = !sv_hits;
+             ssu_misses = !sv_misses;
+             ssu_admitted = !sv_admitted;
+             ssu_rejected = !sv_rejected });
     su_profile = !profile;
   }
 
@@ -552,6 +629,14 @@ let pp_summary fmt (s : summary) : unit =
            (Reject_reason.describe r))
       s.su_reasons
   end;
+  (match s.su_service with
+   | Some sv ->
+     Format.fprintf fmt
+       "@.  service: %d requests, %d admitted, %d rejected; cache %d hits / %d misses (%.1f%% hit rate)@."
+       sv.ssu_requests sv.ssu_admitted sv.ssu_rejected sv.ssu_hits
+       sv.ssu_misses
+       (pct sv.ssu_hits (sv.ssu_hits + sv.ssu_misses))
+   | None -> ());
   (match s.su_vstats with
    | Some v ->
      Format.fprintf fmt

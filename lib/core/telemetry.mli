@@ -65,10 +65,30 @@ type event =
       exec_s : float;
       wall_s : float;
     }  (** CLI-appended phase profile; the only event carrying times *)
+  | Service_hit of { seq : int; key : string }
+      (** a service request's verdict came from the cache *)
+  | Service_miss of { seq : int; key : string }
+      (** a service request had to be verified *)
+  | Service_admitted of {
+      seq : int;
+      key : string;
+      insns : int;           (** post-rewrite instruction count *)
+      insn_processed : int;  (** verification effort (0 on a hit) *)
+    }  (** a service request was accepted by the verifier *)
+  | Service_rejected of {
+      seq : int;
+      key : string;
+      reason : Bvf_verifier.Reject_reason.t;
+    }  (** a service request was rejected by the verifier *)
+      (** The four service events are emitted by [bvf batch]/[bvf serve]
+          (docs/SERVICE.md): one cache event and one verdict event per
+          request, where [seq] is the global request sequence number and
+          [key] the {!Vcache} content hash.  Deterministic except for
+          the hit/miss split, which depends on cache history. *)
 
 val iter_of : event -> int option
-(** The iteration an event belongs to; [None] for [Shard_merge] and
-    [Profile]. *)
+(** The iteration an event belongs to; the request sequence number for
+    service events; [None] for [Shard_merge] and [Profile]. *)
 
 val to_json : event -> string
 (** One-line JSON encoding (no trailing newline). *)
@@ -152,6 +172,16 @@ type vstats_summary = {
   vsu_loop_heads : int;  (** loop heads summed across all analyses *)
 }
 
+(** Service traffic over a trace's service events (see docs/SERVICE.md
+    and docs/OBSERVABILITY.md). *)
+type service_summary = {
+  ssu_requests : int;  (** verdict events: admitted + rejected *)
+  ssu_hits : int;
+  ssu_misses : int;
+  ssu_admitted : int;
+  ssu_rejected : int;
+}
+
 type summary = {
   su_events : int;
   su_generated : int;
@@ -167,6 +197,9 @@ type summary = {
   su_vstats : vstats_summary option;
       (** verifier-counter distributions; [None] when the trace carries
           no vstats events (pre-PR-5 traces stay summarizable) *)
+  su_service : service_summary option;
+      (** service traffic; [None] when the trace carries no service
+          events (campaign traces are unaffected) *)
   su_profile : event option;  (** the last [Profile] record, if any *)
 }
 

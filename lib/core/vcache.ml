@@ -1,0 +1,158 @@
+open Cimport
+
+(* Content-addressed verdict cache (docs/SERVICE.md).
+
+   The in-memory tier is a plain LRU: a hash table from key to an
+   intrusive doubly-linked node, list head = most recently used.  Every
+   operation is O(1); eviction pops the tail.  The on-disk tier reuses
+   the Checkpoint container, so persistence inherits the atomic
+   write-then-rename and corruption-is-Error-never-raise contract the
+   campaign checkpoints already test. *)
+
+module Reject_reason = Bvf_verifier.Reject_reason
+
+type verdict = {
+  cv_accepted : bool;
+  cv_insns : int;
+  cv_insn_processed : int;
+  cv_errno : string;
+  cv_reason : Reject_reason.t option;
+  cv_pc : int;
+  cv_msg : string;
+  cv_vlog : string;
+  cv_vstats : Vstats.t option;
+}
+
+(* Cached logs are service payload, not debugging transcripts: cap them
+   well below Vlog.default_cap so a million cached verdicts stay
+   storable. *)
+let vlog_cap = 64 * 1024
+
+let cap_vlog (log : string) : string =
+  if String.length log <= vlog_cap then log
+  else String.sub log 0 vlog_cap ^ "\n... log truncated\n"
+
+type node = {
+  n_key : string;
+  mutable n_verdict : verdict;
+  mutable n_prev : node option; (* towards the MRU head *)
+  mutable n_next : node option; (* towards the LRU tail *)
+}
+
+type stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_insertions : int;
+  cs_evictions : int;
+}
+
+type t = {
+  t_cap : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+let create ~cap : t =
+  if cap < 1 then invalid_arg "Vcache.create: cap must be >= 1";
+  { t_cap = cap; tbl = Hashtbl.create (min cap 1024); head = None;
+    tail = None; hits = 0; misses = 0; insertions = 0; evictions = 0 }
+
+let cap (t : t) : int = t.t_cap
+let length (t : t) : int = Hashtbl.length t.tbl
+
+let key ~(config_fp : string) ~(maps_fp : string)
+    (req : Verifier.request) : string =
+  Digest.to_hex
+    (Digest.string
+       (config_fp ^ "\n" ^ maps_fp ^ "\n"
+        ^ Verifier.request_canonical req))
+
+(* -- Intrusive list maintenance ------------------------------------- *)
+
+let unlink (t : t) (n : node) : unit =
+  (match n.n_prev with
+   | Some p -> p.n_next <- n.n_next
+   | None -> t.head <- n.n_next);
+  (match n.n_next with
+   | Some s -> s.n_prev <- n.n_prev
+   | None -> t.tail <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front (t : t) (n : node) : unit =
+  n.n_next <- t.head;
+  n.n_prev <- None;
+  (match t.head with Some h -> h.n_prev <- Some n | None -> ());
+  t.head <- Some n;
+  if t.tail = None then t.tail <- Some n
+
+let touch (t : t) (n : node) : unit =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find (t : t) (k : string) : verdict option =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    touch t n;
+    Some n.n_verdict
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_tail (t : t) : unit =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.n_key;
+    t.evictions <- t.evictions + 1
+
+let insert (t : t) (k : string) (v : verdict) : unit =
+  (match Hashtbl.find_opt t.tbl k with
+   | Some n ->
+     n.n_verdict <- v;
+     touch t n
+   | None ->
+     if Hashtbl.length t.tbl >= t.t_cap then evict_tail t;
+     let n = { n_key = k; n_verdict = v; n_prev = None; n_next = None } in
+     Hashtbl.replace t.tbl k n;
+     push_front t n);
+  t.insertions <- t.insertions + 1
+
+let stats (t : t) : stats =
+  { cs_hits = t.hits; cs_misses = t.misses;
+    cs_insertions = t.insertions; cs_evictions = t.evictions }
+
+let entries (t : t) : (string * verdict) list =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> walk ((n.n_key, n.n_verdict) :: acc) n.n_next
+  in
+  walk [] t.head
+
+(* -- On-disk tier ---------------------------------------------------- *)
+
+let tag = "bvf-vcache/1"
+
+let save (t : t) ~(path : string) : (unit, Checkpoint.error) result =
+  Checkpoint.save ~path ~tag (entries t)
+
+let load ~(path : string) ~(cap : int) : (t, Checkpoint.error) result =
+  match Checkpoint.load ~path ~tag with
+  | Error e -> Error e
+  | Ok (saved : (string * verdict) list) ->
+    let t = create ~cap in
+    (* insert oldest first so recency order survives the round trip;
+       beyond [cap] the oldest entries fall off, as they would have *)
+    List.iter (fun (k, v) -> insert t k v) (List.rev saved);
+    t.insertions <- 0;
+    t.evictions <- 0;
+    Ok t

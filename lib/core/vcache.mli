@@ -1,0 +1,106 @@
+(** Content-addressed verdict cache: the service layer's front tier.
+
+    Verification is deterministic — verdict, canonical rejection
+    message, capped log and performance counters are a pure function of
+    (program bytes, map specs, kernel config) — so a verdict computed
+    once can be replayed for every later submission of the same program
+    under the same configuration.  {!key} canonicalizes those three
+    inputs ({!Bvf_verifier.Verifier.request_fingerprint},
+    [maps_fingerprint], [config_fingerprint]); the cache maps keys to
+    {!verdict} records.
+
+    Two tiers: an in-memory LRU (bounded by [cap], strict recency
+    eviction) and an optional on-disk tier reusing the {!Checkpoint}
+    atomic write-then-rename container — a service restart reloads its
+    warmed state, and a torn or corrupt file is an [Error], never an
+    exception.
+
+    Soundness and the invalidation rules (config change, verifier ABI
+    bump, schema tag bump) are documented in docs/SERVICE.md. *)
+
+(** The cached outcome of one verification: everything
+    {!Bvf_verifier.Verifier.load_with_stats} reports except the loaded
+    program itself (program ids are per-session, so the rewritten
+    instruction stream is recomputed on demand, never cached). *)
+type verdict = {
+  cv_accepted : bool;
+  cv_insns : int;
+      (** post-rewrite instruction count when accepted; the original
+          count when rejected *)
+  cv_insn_processed : int;  (** verification effort *)
+  cv_errno : string;        (** kernel-style errno name; [""] on accept *)
+  cv_reason : Bvf_verifier.Reject_reason.t option;
+      (** rejection taxonomy bucket; [None] on accept *)
+  cv_pc : int;              (** rejection pc; 0 on accept *)
+  cv_msg : string;          (** canonical rejection message; [""] on accept *)
+  cv_vlog : string;         (** verifier log, capped at {!vlog_cap} *)
+  cv_vstats : Bvf_verifier.Vstats.t option;
+      (** performance counters; [None] when the load failed before an
+          analysis environment existed *)
+}
+
+val vlog_cap : int
+(** Byte cap on a cached verifier log (64 KiB).  Service responses are
+    meant to be cheap to store by the million; a level-2 log of a
+    branchy program is not.  Truncation appends a marker line, exactly
+    like {!Bvf_verifier.Vlog}. *)
+
+val cap_vlog : string -> string
+(** Apply {!vlog_cap} to a log string (identity when under the cap). *)
+
+type t
+
+val create : cap:int -> t
+(** An empty cache evicting strictly least-recently-used entries beyond
+    [cap].
+    @raise Invalid_argument when [cap < 1]. *)
+
+val cap : t -> int
+val length : t -> int
+
+val key : config_fp:string -> maps_fp:string ->
+  Bvf_verifier.Verifier.request -> string
+(** The cache key: hex digest over the config fingerprint, map
+    fingerprint and the request's canonical bytes. *)
+
+val find : t -> string -> verdict option
+(** Lookup; a hit refreshes the entry's recency and bumps the hit
+    counter, a miss bumps the miss counter. *)
+
+val insert : t -> string -> verdict -> unit
+(** Insert (or refresh) a verdict, evicting the least recently used
+    entry when the cache is full. *)
+
+(** Monotonic operation counters (never part of any result: cache
+    traffic is an observation, not an outcome). *)
+type stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_insertions : int;
+  cs_evictions : int;
+}
+
+val stats : t -> stats
+
+val entries : t -> (string * verdict) list
+(** Every entry, most recently used first. *)
+
+(** {1 On-disk tier}
+
+    A saved cache is a {!Checkpoint} container (tag
+    ["bvf-vcache/1"]).  Bump the tag whenever the {!verdict} schema
+    changes: stale files then fail with [Tag_mismatch] instead of
+    unmarshalling garbage. *)
+
+val tag : string
+
+val save : t -> path:string -> (unit, Checkpoint.error) result
+(** Atomically persist the entries (recency order preserved).  The
+    operation counters are not persisted — a reloaded cache starts
+    cold-counted but warm-keyed. *)
+
+val load : path:string -> cap:int -> (t, Checkpoint.error) result
+(** Reload a saved cache under a (possibly different) [cap]: the most
+    recently used [cap] entries survive.  Any damage — truncation, bit
+    flips, a foreign tag — is an [Error], never an exception, exactly
+    like {!Checkpoint.load}. *)

@@ -311,3 +311,70 @@ let lint (kst : Kstate.t) ~(cov : Coverage.t) (req : request) :
         | () -> Ok ()
       in
       (verdict, List.rev env.Venv.lint, env.Venv.lint_count)
+
+(* -- Stable fingerprints for the verdict cache ------------------------
+
+   Verification is deterministic: the verdict, canonical rejection
+   message, log and performance counters are a pure function of
+   (program, resolvable maps, kernel config).  The service layer
+   (lib/core/vcache.ml) caches verdicts under a content hash of exactly
+   those inputs; the fingerprints below define that hash.  [verifier_abi]
+   is baked into the config fingerprint so a semantic change to the
+   analyzer invalidates every previously cached verdict — bump it
+   whenever any verdict, canonical message, log line or deterministic
+   counter can change for a fixed input. *)
+
+let verifier_abi = "bvf-verifier/1"
+
+(* Canonical byte serialization of a request: the program's wire
+   encoding (byte-compatible with struct bpf_insn) prefixed by the load
+   attributes that shape verification.  Programs whose branches escape
+   the instruction array cannot be wire-encoded; they are canonicalized
+   structurally instead (the verifier rejects them anyway, but the cache
+   key must still be total). *)
+let request_canonical (req : request) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Prog.prog_type_to_string req.r_prog_type);
+  Buffer.add_char b '\n';
+  (match req.r_attach with
+   | None -> Buffer.add_char b '-'
+   | Some a -> Buffer.add_string b a);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (if req.r_offload then "offload" else "host");
+  Buffer.add_char b '\n';
+  (match Encode.encode req.r_insns with
+   | bytes -> Buffer.add_string b (Bytes.unsafe_to_string bytes)
+   | exception Invalid_argument _ ->
+     Buffer.add_string b "unencodable:";
+     Buffer.add_string b (Marshal.to_string req.r_insns []));
+  Buffer.contents b
+
+let request_fingerprint (req : request) : string =
+  Digest.to_hex (Digest.string (request_canonical req))
+
+let config_fingerprint (c : Kconfig.t) : string =
+  let b = Buffer.create 128 in
+  Buffer.add_string b verifier_abi;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Version.to_string c.Kconfig.version);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun bug ->
+       Buffer.add_string b (Kconfig.bug_to_string bug);
+       Buffer.add_char b ' ')
+    (List.sort_uniq compare c.Kconfig.bugs);
+  Printf.bprintf b "\nsanitize=%b unprivileged=%b lint=%b witness=%b"
+    c.Kconfig.sanitize c.Kconfig.unprivileged c.Kconfig.lint
+    c.Kconfig.witness;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let maps_fingerprint (maps : (int * Map.def) list) : string =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun (fd, (d : Map.def)) ->
+       Printf.bprintf b "%d %s key=%d value=%d entries=%d lock=%b\n" fd
+         (Map.map_type_to_string d.Map.mtype)
+         d.Map.key_size d.Map.value_size d.Map.max_entries
+         d.Map.has_spin_lock)
+    (List.sort (fun (a, _) (b, _) -> compare a b) maps);
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -84,3 +84,37 @@ val lint :
 (** Verification plus invariant-lint results, whatever the verdict:
     the [bvf lint] entry point.  Requires a [Kconfig.lint]-enabled
     kernel state to record anything. *)
+
+(** {1 Stable fingerprints (the verdict-cache key pieces)}
+
+    Verification is deterministic: verdict, canonical message, log and
+    performance counters are a pure function of (program, resolvable
+    maps, kernel config).  These fingerprints canonicalize exactly those
+    inputs for the service layer's content-addressed verdict cache
+    (see docs/SERVICE.md for the soundness argument). *)
+
+val verifier_abi : string
+(** Analyzer revision baked into {!config_fingerprint}.  Bump whenever a
+    verifier change can alter any verdict, canonical message, log line
+    or deterministic counter for a fixed input: every previously cached
+    verdict is then invalidated by key mismatch. *)
+
+val request_canonical : request -> string
+(** Canonical byte serialization of a load request: prog type, attach
+    point, offload flag, then the program's wire encoding
+    ({!Bvf_ebpf.Encode.encode}; programs whose branches escape the
+    instruction array fall back to a structural serialization so the
+    function is total). *)
+
+val request_fingerprint : request -> string
+(** Hex digest of {!request_canonical}. *)
+
+val config_fingerprint : Bvf_kernel.Kconfig.t -> string
+(** Hex digest of every config field verification depends on (version,
+    sorted bug registry, sanitize/unprivileged/lint/witness switches)
+    plus {!verifier_abi}. *)
+
+val maps_fingerprint : (int * Bvf_kernel.Map.def) list -> string
+(** Hex digest of a session's map population — (fd, definition) pairs,
+    sorted by fd.  Programs reference maps by fd, so two sessions with
+    equal fingerprints resolve every map reference identically. *)

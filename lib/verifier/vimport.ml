@@ -4,6 +4,7 @@ module Word = Bvf_ebpf.Word
 module Version = Bvf_ebpf.Version
 module Insn = Bvf_ebpf.Insn
 module Asm = Bvf_ebpf.Asm
+module Encode = Bvf_ebpf.Encode
 module Prog = Bvf_ebpf.Prog
 module Helper = Bvf_ebpf.Helper
 module Kconfig = Bvf_kernel.Kconfig
