@@ -25,6 +25,7 @@ module Loader = Bvf_runtime.Loader
 module Coverage = Bvf_verifier.Coverage
 module Vstats = Bvf_verifier.Vstats
 module Mclock = Bvf_util.Mclock
+module Prof = Bvf_util.Prof
 module Campaign = Bvf_core.Campaign
 module Parallel = Bvf_core.Parallel
 module Telemetry = Bvf_core.Telemetry
@@ -196,6 +197,16 @@ let progress_t =
                seconds.  Purely an observer: traces and digests are \
                byte-identical with or without it.")
 
+let profile_t =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+         ~doc:"Record a span profile of the run and write it to \
+               $(docv) as Chrome trace-event JSON (one process per \
+               shard or worker; load in Perfetto, or aggregate with \
+               $(b,bvf profile)).  Purely an observer, like \
+               --progress: traces and digests are byte-identical with \
+               or without it.")
+
 (* The closing profile record is appended by the CLI, not emitted by
    the campaign: traces stay byte-deterministic for a fixed seed, and
    the profile carries the only wall-clock times in the file. *)
@@ -210,12 +221,26 @@ let append_profile (path : string) (stats : Campaign.stats)
         sanitize_s = stats.Campaign.st_sanitize_s;
         exec_s = stats.Campaign.st_exec_s;
         wall_s;
+        gen_w = stats.Campaign.st_gen_w;
+        verify_w = stats.Campaign.st_verify_w;
+        sanitize_w = stats.Campaign.st_sanitize_w;
+        exec_w = stats.Campaign.st_exec_w;
       }
   in
   let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
   output_string oc (Telemetry.to_json ev);
   output_char oc '\n';
   close_out oc
+
+(* Write the collected spans once, after the run — recording is
+   lock-free per domain, serialization happens only here. *)
+let write_profile (prof : Prof.session) (profile : string option) : unit =
+  match profile with
+  | None -> ()
+  | Some path ->
+    Prof.write_chrome path ~tracks:(Prof.tracks prof) (Prof.spans prof);
+    Printf.printf "span profile written to %s (bvf profile %s, or load \
+                   in Perfetto)\n" path path
 
 (* exit 4 marks a damaged checkpoint (bad magic, wrong schema tag,
    digest mismatch, truncation) — distinct from exit 3, an environment
@@ -239,7 +264,7 @@ let fuzz_cmd =
   let run version seed iterations tool no_sanitize fixed unprivileged
       witness failslab_rate failslab_seed checkpoint_path checkpoint_every
       resume_path jobs workers state_dir deadline max_restarts
-      quarantine_file trace log_level progress_every =
+      quarantine_file trace log_level progress_every profile =
     let config =
       if fixed then Kconfig.fixed version else Kconfig.default version
     in
@@ -308,6 +333,9 @@ let fuzz_cmd =
         (fun every_s -> Progress.create ~every_s ~jobs ())
         progress_every
     in
+    let prof =
+      match profile with Some _ -> Prof.session () | None -> Prof.null
+    in
     if workers > 0 then begin
       arm_signals ();
       let quarantine =
@@ -327,7 +355,7 @@ let fuzz_cmd =
             ?failslab_rate:
               (if failslab_rate > 0.0 then Some failslab_rate else None)
             ?failslab_seed ~checkpoint_every ~deadline_s:deadline
-            ~max_restarts ~quarantine ~stop:stopped ~workers ~seed
+            ~max_restarts ~quarantine ~prof ~stop:stopped ~workers ~seed
             ~iterations ~dir:state_dir strategy config
         with Campaign.Environment msg ->
           Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
@@ -347,6 +375,7 @@ let fuzz_cmd =
            append_profile path result.Parallel.pr_stats
              ~wall_s:(Mclock.elapsed_s ~since:t0)
          | None -> ());
+        write_profile prof profile;
         Format.printf "%a" Parallel.pp_summary result;
         Format.printf "%a" Supervisor.pp_report report;
         Printf.printf "merged digest: %s\n" (Parallel.digest result);
@@ -361,7 +390,7 @@ let fuzz_cmd =
               (if failslab_rate > 0.0 then Some failslab_rate else None)
             ?failslab_seed
             ?on_step:(Option.map Progress.observer progress)
-            ~seed ~iterations strategy config
+            ~prof ~seed ~iterations strategy config
         with Campaign.Environment msg ->
           Printf.eprintf "bvf fuzz: aborted on environment error: %s\n" msg;
           exit 3
@@ -372,6 +401,7 @@ let fuzz_cmd =
          append_profile path result.Parallel.pr_stats
            ~wall_s:(Mclock.elapsed_s ~since:t0)
        | None -> ());
+      write_profile prof profile;
       Format.printf "%a" Parallel.pp_summary result;
       Printf.printf "merged digest: %s\n" (Parallel.digest result);
       print_findings result.Parallel.pr_stats
@@ -408,10 +438,14 @@ let fuzz_cmd =
         | None -> Telemetry.null
       in
       let t0 = Mclock.now_s () in
+      (* same track layout as a --jobs 1 Parallel.run: the campaign is
+         shard 0, its phases nested in one top-level "iterate" span *)
+      let cprof = Prof.track prof ~name:"shard0" 0 in
       let stats =
         try
+          Prof.span cprof "iterate" @@ fun () ->
           Campaign.run
-            ~telemetry ~log_level
+            ~telemetry ~log_level ~prof:cprof
             ~checkpoint_every
             ?checkpoint_path
             ?failslab
@@ -433,6 +467,7 @@ let fuzz_cmd =
        | Some path ->
          append_profile path stats ~wall_s:(Mclock.elapsed_s ~since:t0)
        | None -> ());
+      write_profile prof profile;
       Format.printf "%a" Campaign.pp_summary stats;
       (match failslab with
        | Some plan when Failslab.enabled plan ->
@@ -458,7 +493,7 @@ let fuzz_cmd =
           $ failslab_t $ failslab_seed_t $ checkpoint_t
           $ checkpoint_every_t $ resume_t $ jobs_t $ workers_t
           $ state_dir_t $ deadline_t $ max_restarts_t $ quarantine_t
-          $ trace_t $ log_level_t $ progress_t)
+          $ trace_t $ log_level_t $ progress_t $ profile_t)
 
 (* -- explain ---------------------------------------------------------------- *)
 
@@ -574,6 +609,64 @@ let stats_cmd =
                  & info [ "fail-on-unknown" ]
                    ~doc:"Exit 1 if any rejection is unclassified — the \
                          CI gate that keeps the taxonomy total."))
+
+(* -- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run path fail_on_malformed =
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "bvf profile: no such profile file: %s\n" path;
+      exit 2
+    end;
+    let spans, tracks, complaints = Prof.read_chrome path in
+    List.iter
+      (fun c -> Printf.eprintf "bvf profile: %s: %s\n" path c)
+      complaints;
+    let track_name trk =
+      match List.assoc_opt trk tracks with
+      | Some name -> name
+      | None -> Printf.sprintf "track%d" trk
+    in
+    Printf.printf "%-20s %8s %11s %11s %10s %10s %12s %12s\n" "span"
+      "count" "total s" "self s" "p50 ms" "p95 ms" "minor words"
+      "major words";
+    List.iter
+      (fun (a : Prof.agg) ->
+         Printf.printf
+           "%-20s %8d %11.4f %11.4f %10.3f %10.3f %12.0f %12.0f\n"
+           a.Prof.ag_name a.Prof.ag_count a.Prof.ag_total_s
+           a.Prof.ag_self_s
+           (1e3 *. a.Prof.ag_p50_s) (1e3 *. a.Prof.ag_p95_s)
+           a.Prof.ag_minor_w a.Prof.ag_major_w)
+      (Prof.aggregate spans);
+    print_newline ();
+    (* wall-time attribution: how much of each track's first-start..
+       last-end window its top-level spans name *)
+    Printf.printf "%-20s %11s %12s %9s\n" "track" "wall s" "named s"
+      "coverage";
+    List.iter
+      (fun (trk, wall, top) ->
+         Printf.printf "%-20s %11.4f %12.4f %8.1f%%\n" (track_name trk)
+           wall top
+           (if wall > 0. then 100. *. top /. wall else 100.))
+      (Prof.track_attribution spans);
+    if fail_on_malformed && complaints <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Aggregate a span profile written by $(b,bvf fuzz --profile) \
+             or $(b,bvf batch --profile): per-span self time with \
+             nearest-rank p50/p95 and allocation, plus per-track \
+             wall-time attribution.  Malformed events and nesting \
+             violations are reported on stderr.")
+    Term.(const run
+          $ Arg.(required & pos 0 (some string) None
+                 & info [] ~docv:"PROFILE"
+                   ~doc:"Chrome trace-event JSON written by --profile.")
+          $ Arg.(value & flag
+                 & info [ "fail-on-malformed" ]
+                   ~doc:"Exit 1 if the trace has malformed events or \
+                         nesting violations — the CI smoke gate."))
 
 (* -- repro ------------------------------------------------------------------ *)
 
@@ -1093,7 +1186,7 @@ let save_cache (cache : Vcache.t) ~(cache_file : string option) : unit =
 
 let batch_cmd =
   let run version jobs cache_size cache_file out trace log_level
-      selftests count inputs =
+      profile selftests count inputs =
     if jobs < 1 then begin
       Printf.eprintf "bvf batch: --jobs must be >= 1\n";
       exit 2
@@ -1131,11 +1224,22 @@ let batch_cmd =
       | Some path -> Telemetry.create path
       | None -> Telemetry.null
     in
+    let prof =
+      match profile with Some _ -> Prof.session () | None -> Prof.null
+    in
     let items, summary =
-      Service.run_batch ~log_level ~sink ~jobs ~cache config inputs
+      Service.run_batch ~log_level ~sink ~prof ~jobs ~cache config inputs
     in
     Telemetry.close sink;
     save_cache cache ~cache_file;
+    (match profile with
+     | None -> ()
+     | Some path ->
+       Prof.write_chrome path ~tracks:(Prof.tracks prof)
+         (Prof.spans prof);
+       (* results own stdout; the profile notice joins the summary on
+          stderr *)
+       Printf.eprintf "span profile written to %s\n" path);
     let oc, close =
       match out with
       | Some path -> let oc = open_out path in (oc, fun () -> close_out oc)
@@ -1165,7 +1269,7 @@ let batch_cmd =
                  & info [ "out"; "o" ] ~docv:"PATH"
                    ~doc:"Write per-program results to $(docv) instead \
                          of stdout.")
-          $ trace_t $ log_level_t
+          $ trace_t $ log_level_t $ profile_t
           $ Arg.(value & flag
                  & info [ "selftests" ]
                    ~doc:"Batch the self-test corpus instead of reading \
@@ -1250,6 +1354,7 @@ let () =
             structured and sanitized programs."
   in
   exit (Cmd.eval (Cmd.group info
-                    [ fuzz_cmd; explain_cmd; stats_cmd; veristat_cmd;
-                      cov_cmd; merge_cmd; repro_cmd; selftests_cmd;
-                      lint_cmd; batch_cmd; serve_cmd; experiments_cmd ]))
+                    [ fuzz_cmd; explain_cmd; stats_cmd; profile_cmd;
+                      veristat_cmd; cov_cmd; merge_cmd; repro_cmd;
+                      selftests_cmd; lint_cmd; batch_cmd; serve_cmd;
+                      experiments_cmd ]))

@@ -81,6 +81,12 @@ type stats = {
   mutable st_verify_s : float;
   mutable st_sanitize_s : float;
   mutable st_exec_s : float;
+  (* per-phase allocation attribution: minor words per pipeline stage.
+     Observations like the timers above, so digest-excluded too. *)
+  mutable st_gen_w : float;
+  mutable st_verify_w : float;
+  mutable st_sanitize_w : float;
+  mutable st_exec_w : float;
   (* veristat-style verifier-counter aggregate: totals, maxima and log2
      histograms over every analysis that ran.  Deterministic, so part
      of [digest]; merged across shards like coverage. *)
@@ -224,6 +230,11 @@ type t = {
   sample_every : int;
   telemetry : Telemetry.sink;
   log_level : int;
+  (* span-profiler handle for this campaign's domain; [Prof.disabled]
+     unless the run opted in with [--profile].  Records gen/verify/
+     sanitize/exec phase spans and checkpoint writes; never touches the
+     RNG, the telemetry sink or the digest. *)
+  prof : Bvf_util.Prof.t;
 }
 
 let reboot (c : t) : unit =
@@ -234,8 +245,8 @@ let reboot (c : t) : unit =
   c.stats.st_reboots <- c.stats.st_reboots + 1
 
 let create ?(sample_every = 64) ?(telemetry = Telemetry.null)
-    ?(log_level = 0) ?failslab ~(seed : int)
-    (strategy : strategy) (config : Kconfig.t) : t =
+    ?(log_level = 0) ?(prof = Bvf_util.Prof.disabled) ?failslab
+    ~(seed : int) (strategy : strategy) (config : Kconfig.t) : t =
   let failslab =
     match failslab with
     | Some f -> f
@@ -278,6 +289,10 @@ let create ?(sample_every = 64) ?(telemetry = Telemetry.null)
         st_verify_s = 0.;
         st_sanitize_s = 0.;
         st_exec_s = 0.;
+        st_gen_w = 0.;
+        st_verify_w = 0.;
+        st_sanitize_w = 0.;
+        st_exec_w = 0.;
         st_vstats = Vstats.agg_zero ();
       };
     session;
@@ -285,6 +300,7 @@ let create ?(sample_every = 64) ?(telemetry = Telemetry.null)
     sample_every;
     telemetry;
     log_level;
+    prof;
   }
 
 (* One fuzzing iteration: generate (or mutate), load, run, classify. *)
@@ -296,10 +312,11 @@ let step (c : t) : unit =
     else None
   in
   let seed_req = Option.map (fun e -> e.Corpus.request) seed_entry in
-  let t_gen = Bvf_util.Mclock.now_s () in
+  let fr_gen = Bvf_util.Prof.start c.prof "gen" in
   let req = c.strategy.s_generate c.rng c.gen_config seed_req in
-  stats.st_gen_s <-
-    stats.st_gen_s +. Bvf_util.Mclock.elapsed_s ~since:t_gen;
+  let gen_s, gen_w = Bvf_util.Prof.stop c.prof fr_gen in
+  stats.st_gen_s <- stats.st_gen_s +. gen_s;
+  stats.st_gen_w <- stats.st_gen_w +. gen_w;
   stats.st_generated <- stats.st_generated + 1;
   stats.st_histogram <-
     Array.fold_left Disasm.classify stats.st_histogram
@@ -318,11 +335,14 @@ let step (c : t) : unit =
   let rec attempt (n : int) : int * Loader.run_result =
     let edges_before = Coverage.edge_count c.cov in
     let result =
-      Loader.load_and_run ~log_level:c.log_level c.session req
+      Loader.load_and_run ~log_level:c.log_level ~prof:c.prof c.session req
     in
     stats.st_verify_s <- stats.st_verify_s +. result.Loader.verify_s;
     stats.st_sanitize_s <- stats.st_sanitize_s +. result.Loader.sanitize_s;
     stats.st_exec_s <- stats.st_exec_s +. result.Loader.exec_s;
+    stats.st_verify_w <- stats.st_verify_w +. result.Loader.verify_w;
+    stats.st_sanitize_w <- stats.st_sanitize_w +. result.Loader.sanitize_w;
+    stats.st_exec_w <- stats.st_exec_w +. result.Loader.exec_w;
     if is_transient result && n < max_transient_retries then begin
       stats.st_retries <- stats.st_retries + 1;
       if n = max_transient_retries - 1 then reboot c;
@@ -468,8 +488,10 @@ type snapshot = {
 (* /5: stats gained st_skipped, snapshots gained sn_merged.
    /6: vstats aggregate gained widen-round and loop-head counters, and
    the generator grew the counted-loop frame, so resumed iteration
-   streams diverge from /5 checkpoints. *)
-let checkpoint_tag = "bvf-campaign/6"
+   streams diverge from /5 checkpoints.
+   /7: stats gained the per-phase minor-words attribution fields
+   (st_gen_w..st_exec_w), changing the marshalled layout. *)
+let checkpoint_tag = "bvf-campaign/7"
 
 let snapshot (c : t) : snapshot =
   {
@@ -510,8 +532,8 @@ let load_checkpoint ~(path : string) :
    draws its map setup consumes — so the resumed campaign replays the
    exact continuation of the uninterrupted one. *)
 let resume ?(sample_every = 64) ?(telemetry = Telemetry.null)
-    ?(log_level = 0) (strategy : strategy) (config : Kconfig.t)
-    (s : snapshot) : t =
+    ?(log_level = 0) ?(prof = Bvf_util.Prof.disabled)
+    (strategy : strategy) (config : Kconfig.t) (s : snapshot) : t =
   if s.sn_tool <> strategy.s_name then
     raise
       (Environment
@@ -561,20 +583,22 @@ let resume ?(sample_every = 64) ?(telemetry = Telemetry.null)
     sample_every;
     telemetry;
     log_level;
+    prof;
   }
 
 (* -- Driving ----------------------------------------------------------- *)
 
-let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
-    ?checkpoint_path ?failslab ?resume_from ?skip ?stop ?on_step
-    ~(seed : int) ~(iterations : int) (strategy : strategy)
-    (config : Kconfig.t) : t =
+let run_t ?(sample_every = 64) ?telemetry ?log_level ?prof
+    ?checkpoint_every ?checkpoint_path ?failslab ?resume_from ?skip
+    ?stop ?on_step ~(seed : int) ~(iterations : int)
+    (strategy : strategy) (config : Kconfig.t) : t =
   let c =
     match resume_from with
-    | Some s -> resume ~sample_every ?telemetry ?log_level strategy config s
+    | Some s ->
+      resume ~sample_every ?telemetry ?log_level ?prof strategy config s
     | None ->
-      create ~sample_every ?telemetry ?log_level ?failslab ~seed strategy
-        config
+      create ~sample_every ?telemetry ?log_level ?prof ?failslab ~seed
+        strategy config
   in
   (* A checkpoint is a barrier: write the snapshot, then reboot, so the
      file plus a fresh kernel fully determines the continuation.  The
@@ -588,7 +612,10 @@ let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
   let save_now () =
     match checkpoint_path with
     | Some path -> begin
-        match save_checkpoint c ~path with
+        match
+          Bvf_util.Prof.span c.prof "checkpoint" (fun () ->
+              save_checkpoint c ~path)
+        with
         | Ok () ->
           Telemetry.emit c.telemetry
             (Telemetry.Checkpoint { iter = c.stats.st_generated })
@@ -642,11 +669,11 @@ let run_t ?(sample_every = 64) ?telemetry ?log_level ?checkpoint_every
       c.stats.st_curve;
   c
 
-let run ?sample_every ?telemetry ?log_level ?checkpoint_every
+let run ?sample_every ?telemetry ?log_level ?prof ?checkpoint_every
     ?checkpoint_path ?failslab ?resume_from ?skip ?stop ?on_step
     ~(seed : int) ~(iterations : int) (strategy : strategy)
     (config : Kconfig.t) : stats =
-  (run_t ?sample_every ?telemetry ?log_level ?checkpoint_every
+  (run_t ?sample_every ?telemetry ?log_level ?prof ?checkpoint_every
      ?checkpoint_path ?failslab ?resume_from ?skip ?stop ?on_step ~seed
      ~iterations strategy config)
     .stats

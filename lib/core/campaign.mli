@@ -68,6 +68,12 @@ type stats = {
   mutable st_verify_s : float;   (** wall time in the verifier *)
   mutable st_sanitize_s : float; (** wall time in fixup + sanitation *)
   mutable st_exec_s : float;     (** wall time executing programs *)
+  mutable st_gen_w : float;      (** minor words generating programs *)
+  mutable st_verify_w : float;   (** minor words in the verifier *)
+  mutable st_sanitize_w : float; (** minor words in fixup + sanitation *)
+  mutable st_exec_w : float;     (** minor words executing programs.
+      Allocation observations like the phase timers above: excluded
+      from {!digest}. *)
   st_vstats : Bvf_verifier.Vstats.agg;
       (** veristat-style verifier-counter aggregate over every analysis
           that ran.  Deterministic (no wall times), so part of
@@ -132,13 +138,17 @@ type t = {
   telemetry : Telemetry.sink;
       (** JSONL event sink; {!Telemetry.null} when not tracing *)
   log_level : int; (** verifier log level for every load (default 0) *)
+  prof : Bvf_util.Prof.t;
+      (** span-profiler handle for this campaign's domain;
+          [Prof.disabled] unless the run opted in.  Pure observation:
+          never touches the RNG, the telemetry sink or the digest. *)
 }
 
 val reboot : t -> unit
 
 val create :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
-  ?failslab:Bvf_kernel.Failslab.t -> seed:int ->
+  ?prof:Bvf_util.Prof.t -> ?failslab:Bvf_kernel.Failslab.t -> seed:int ->
   strategy -> Bvf_kernel.Kconfig.t -> t
 
 val step : t -> unit
@@ -196,6 +206,7 @@ val load_checkpoint : path:string -> (snapshot, Checkpoint.error) result
 
 val resume :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
+  ?prof:Bvf_util.Prof.t ->
   strategy -> Bvf_kernel.Kconfig.t -> snapshot -> t
 (** Rebuild a running campaign from a snapshot.  The snapshot value is
     deep-copied first, so resuming the same in-memory snapshot several
@@ -207,6 +218,7 @@ val resume :
 
 val run_t :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
+  ?prof:Bvf_util.Prof.t ->
   ?checkpoint_every:int -> ?checkpoint_path:string ->
   ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot ->
   ?skip:(int -> bool) -> ?stop:(unit -> bool) ->
@@ -218,6 +230,7 @@ val run_t :
 
 val run :
   ?sample_every:int -> ?telemetry:Telemetry.sink -> ?log_level:int ->
+  ?prof:Bvf_util.Prof.t ->
   ?checkpoint_every:int -> ?checkpoint_path:string ->
   ?failslab:Bvf_kernel.Failslab.t -> ?resume_from:snapshot ->
   ?skip:(int -> bool) -> ?stop:(unit -> bool) ->

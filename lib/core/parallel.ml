@@ -198,6 +198,11 @@ let merge_stats ~(jobs : int) (cov : Coverage.t) (shards : shard list) :
       st_verify_s = sumf (fun s -> s.Campaign.st_verify_s);
       st_sanitize_s = sumf (fun s -> s.Campaign.st_sanitize_s);
       st_exec_s = sumf (fun s -> s.Campaign.st_exec_s);
+      (* allocation is per-domain too: phase minor words sum the same way *)
+      st_gen_w = sumf (fun s -> s.Campaign.st_gen_w);
+      st_verify_w = sumf (fun s -> s.Campaign.st_verify_w);
+      st_sanitize_w = sumf (fun s -> s.Campaign.st_sanitize_w);
+      st_exec_w = sumf (fun s -> s.Campaign.st_exec_w);
       st_vstats =
         (let merged = Vstats.agg_zero () in
          List.iter
@@ -318,11 +323,21 @@ let shard_trace_path (trace : string) (i : int) : string =
   trace ^ ".shard" ^ string_of_int i
 
 let run ?(sample_every = 64) ?trace ?log_level ?failslab_rate
-    ?failslab_seed ?on_step ~(jobs : int) ~(seed : int)
-    ~(iterations : int) (strategy : Campaign.strategy)
+    ?failslab_seed ?on_step ?(prof = Bvf_util.Prof.null) ~(jobs : int)
+    ~(seed : int) ~(iterations : int) (strategy : Campaign.strategy)
     (config : Kconfig.t) : result =
   if jobs < 1 then invalid_arg "Parallel.run: jobs < 1";
   let counts = shard_iterations ~iterations ~jobs in
+  (* profiler tracks: one per shard (created here, before the domains
+     spawn, then owned exclusively by their domain) plus one for this
+     coordinating domain's spawn/join/absorb/merge work *)
+  let shard_prof =
+    Array.init jobs (fun i ->
+        Bvf_util.Prof.track prof ~name:(Printf.sprintf "shard%d" i) i)
+  in
+  let main_prof =
+    Bvf_util.Prof.track prof ~name:"coordinator" jobs
+  in
   let plan_for (i : int) : Bvf_kernel.Failslab.t option =
     match failslab_rate with
     | Some rate when rate > 0.0 ->
@@ -347,15 +362,20 @@ let run ?(sample_every = 64) ?trace ?log_level ?failslab_rate
         (shard_trace_path path i)
   in
   let run_shard (i : int) : Campaign.t =
-    let telemetry = sink_for i in
-    let on_step = Option.map (fun f -> f i) on_step in
-    let c =
-      Campaign.run_t ~sample_every ~telemetry ?log_level
-        ?failslab:(plan_for i) ?on_step ~seed:(seed + i)
-        ~iterations:counts.(i) strategy config
-    in
-    Telemetry.close telemetry;
-    c
+    (* the whole shard body is one top-level "iterate" span; the
+       campaign's per-phase spans nest inside it, so the span's self
+       time is exactly the per-iteration harness overhead (RNG, corpus,
+       telemetry emission) the ROADMAP wants named *)
+    Bvf_util.Prof.span shard_prof.(i) "iterate" (fun () ->
+        let telemetry = sink_for i in
+        let on_step = Option.map (fun f -> f i) on_step in
+        let c =
+          Campaign.run_t ~sample_every ~telemetry ?log_level
+            ~prof:shard_prof.(i) ?failslab:(plan_for i) ?on_step
+            ~seed:(seed + i) ~iterations:counts.(i) strategy config
+        in
+        Telemetry.close telemetry;
+        c)
   in
   if jobs = 1 then begin
     (* the sequential path, verbatim: same calls in the same domain, so
@@ -373,38 +393,43 @@ let run ?(sample_every = 64) ?trace ?log_level ?failslab_rate
   end
   else begin
     let domains =
-      Array.init jobs (fun i -> Domain.spawn (fun () -> run_shard i))
+      Bvf_util.Prof.span main_prof "spawn" (fun () ->
+          Array.init jobs (fun i -> Domain.spawn (fun () -> run_shard i)))
     in
     let shards =
-      Array.to_list
-        (Array.mapi
-           (fun i d ->
-              shard_of_campaign ~index:i ~seed:(seed + i)
-                ~iterations:counts.(i) (Domain.join d))
-           domains)
+      Bvf_util.Prof.span main_prof "join" (fun () ->
+          Array.to_list
+            (Array.mapi
+               (fun i d ->
+                  shard_of_campaign ~index:i ~seed:(seed + i)
+                    ~iterations:counts.(i) (Domain.join d))
+               domains))
     in
     (match trace with
      | Some path ->
-       let shard_paths =
-         List.init jobs (fun i -> shard_trace_path path i)
-       in
-       ignore (Telemetry.merge_shards ~into:path shard_paths);
-       List.iter
-         (fun p -> if Sys.file_exists p then Sys.remove p)
-         shard_paths
+       Bvf_util.Prof.span main_prof "trace-merge" (fun () ->
+           let shard_paths =
+             List.init jobs (fun i -> shard_trace_path path i)
+           in
+           ignore (Telemetry.merge_shards ~into:path shard_paths);
+           List.iter
+             (fun p -> if Sys.file_exists p then Sys.remove p)
+             shard_paths)
      | None -> ());
     let cov = Coverage.create () in
-    List.iter
-      (fun sh -> ignore (Coverage.absorb_named cov sh.sh_edges))
-      shards;
-    {
-      pr_jobs = jobs;
-      pr_iterations = iterations;
-      pr_stats = merge_stats ~jobs cov shards;
-      pr_cov = cov;
-      pr_corpus = merge_corpora ~jobs shards;
-      pr_shards = shards;
-    }
+    Bvf_util.Prof.span main_prof "absorb" (fun () ->
+        List.iter
+          (fun sh -> ignore (Coverage.absorb_named cov sh.sh_edges))
+          shards);
+    Bvf_util.Prof.span main_prof "merge" (fun () ->
+        {
+          pr_jobs = jobs;
+          pr_iterations = iterations;
+          pr_stats = merge_stats ~jobs cov shards;
+          pr_cov = cov;
+          pr_corpus = merge_corpora ~jobs shards;
+          pr_shards = shards;
+        })
   end
 
 let digest (r : result) : string = Campaign.digest r.pr_stats

@@ -80,6 +80,7 @@ val run :
   ?sample_every:int -> ?trace:string -> ?log_level:int ->
   ?failslab_rate:float -> ?failslab_seed:int ->
   ?on_step:(int -> Campaign.t -> unit) ->
+  ?prof:Bvf_util.Prof.session ->
   jobs:int -> seed:int -> iterations:int -> Campaign.strategy ->
   Bvf_kernel.Kconfig.t -> result
 (** Run [iterations] total fuzzing iterations sharded across [jobs]
@@ -97,6 +98,12 @@ val run :
     [on_step shard] builds the per-shard step observer (the
     [--progress] status line); it runs on the shard's domain after each
     completed iteration and must not mutate the campaign.
+    [prof] (default {!Bvf_util.Prof.null}) records the run as profiler
+    spans: track [i] carries shard [i]'s "iterate" span with the
+    campaign phase spans nested inside, track [jobs] the coordinator's
+    spawn/join/trace-merge/absorb/merge work.  Pure observation — a
+    profiled run's digest and trace are byte-identical to an
+    unprofiled one.
     @raise Invalid_argument when [jobs < 1].
     @raise Campaign.Environment if any shard raises it. *)
 

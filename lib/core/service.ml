@@ -332,11 +332,6 @@ let summary_to_json (s : summary) : string =
     s.bs_programs s.bs_admitted s.bs_rejected s.bs_invalid s.bs_hits
     s.bs_misses s.bs_verify_p50_s s.bs_verify_p95_s s.bs_wall_s
 
-(* Nearest-rank percentile, same convention as Telemetry.dist_of. *)
-let percentile (sorted : float array) (p : int) : float =
-  let n = Array.length sorted in
-  if n = 0 then 0.0 else sorted.(p * (n - 1) / 100)
-
 let emit_events (sink : Telemetry.sink) ~(seq : int) ~(key : string)
     ~(hit : bool) (v : Vcache.verdict) : unit =
   Telemetry.emit sink
@@ -355,10 +350,13 @@ let emit_events (sink : Telemetry.sink) ~(seq : int) ~(key : string)
              Option.value v.Vcache.cv_reason
                ~default:Reject_reason.Unknown })
 
-let run_batch ?(log_level = 0) ?(sink = Telemetry.null) ~(jobs : int)
-    ~(cache : Vcache.t) (config : Kconfig.t) (inputs : input list) :
-  item list * summary =
+let run_batch ?(log_level = 0) ?(sink = Telemetry.null)
+    ?(prof = Bvf_util.Prof.null) ~(jobs : int) ~(cache : Vcache.t)
+    (config : Kconfig.t) (inputs : input list) : item list * summary =
   if jobs < 1 then invalid_arg "Service.run_batch: jobs must be >= 1";
+  (* coordinator track = jobs, one verifier track per worker domain —
+     the same layout as Parallel.run's shard/coordinator split *)
+  let main_prof = Bvf_util.Prof.track prof ~name:"batch" jobs in
   let t0 = Mclock.now_s () in
   let session0 = create_session config in
   let config_fp, maps_fp = fingerprints session0 in
@@ -368,40 +366,49 @@ let run_batch ?(log_level = 0) ?(sink = Telemetry.null) ~(jobs : int)
   let cached = Array.make n None in
   let miss_list = ref [] in
   (* probe pass: cache traffic stays in the calling domain *)
-  Array.iteri
-    (fun i input ->
-       match input.in_req with
-       | Error _ -> ()
-       | Ok req ->
-         let k = Vcache.key ~config_fp ~maps_fp req in
-         keys.(i) <- k;
-         (match Vcache.find cache k with
-          | Some v -> cached.(i) <- Some v
-          | None -> miss_list := (i, req) :: !miss_list))
-    items;
+  Bvf_util.Prof.span main_prof "probe" (fun () ->
+      Array.iteri
+        (fun i input ->
+           match input.in_req with
+           | Error _ -> ()
+           | Ok req ->
+             let k = Vcache.key ~config_fp ~maps_fp req in
+             keys.(i) <- k;
+             (match Vcache.find cache k with
+              | Some v -> cached.(i) <- Some v
+              | None -> miss_list := (i, req) :: !miss_list))
+        items);
   let misses = Array.of_list (List.rev !miss_list) in
   let m = Array.length misses in
   let verdicts = Array.make m None in
   let durations = Array.make m 0.0 in
   (* verify pass: round-robin striding gives each domain disjoint
      slots, and each domain verifies in its own fresh session *)
-  let worker (session : Loader.t) (first : int) (step : int) : unit =
+  let worker (wprof : Bvf_util.Prof.t) (session : Loader.t)
+      (first : int) (step : int) : unit =
     let j = ref first in
     while !j < m do
       let _, req = misses.(!j) in
-      let t = Mclock.now_s () in
+      let fr = Bvf_util.Prof.start wprof "verify" in
       verdicts.(!j) <- Some (verify_request ~log_level session req);
-      durations.(!j) <- Mclock.elapsed_s ~since:t;
+      let dur, _ = Bvf_util.Prof.stop wprof fr in
+      durations.(!j) <- dur;
       j := !j + step
     done
   in
   let jobs = max 1 (min jobs m) in
-  if jobs <= 1 then worker session0 0 1
+  let wprof =
+    Array.init jobs (fun d ->
+        Bvf_util.Prof.track prof ~name:(Printf.sprintf "verifier%d" d) d)
+  in
+  if jobs <= 1 then worker wprof.(0) session0 0 1
   else
     List.init jobs (fun d ->
-        Domain.spawn (fun () -> worker (create_session config) d jobs))
+        Domain.spawn (fun () ->
+            worker wprof.(d) (create_session config) d jobs))
     |> List.iter Domain.join;
   (* fill pass: insert in input order, back in the calling domain *)
+  let fr_join = Bvf_util.Prof.start main_prof "join" in
   let hits = ref 0 in
   Array.iteri
     (fun j (slot, _) ->
@@ -447,10 +454,11 @@ let run_batch ?(log_level = 0) ?(sink = Telemetry.null) ~(jobs : int)
       bs_invalid = !invalid;
       bs_hits = !hits;
       bs_misses = m;
-      bs_verify_p50_s = percentile sorted 50;
-      bs_verify_p95_s = percentile sorted 95;
+      bs_verify_p50_s = Bvf_util.Percentile.of_sorted sorted 50;
+      bs_verify_p95_s = Bvf_util.Percentile.of_sorted sorted 95;
       bs_wall_s = Mclock.elapsed_s ~since:t0 }
   in
+  ignore (Bvf_util.Prof.stop main_prof fr_join);
   (out, summary)
 
 (* -- Serve ----------------------------------------------------------- *)
@@ -464,38 +472,101 @@ type serve_stats = {
   sv_misses : int;
 }
 
-let serve ?(log_level = 0) ?(sink = Telemetry.null) ~(cache : Vcache.t)
+(* A metrics request is any object with "metrics":true — it never
+   parses as a program request (those require prog_type and prog), so
+   the two request shapes cannot collide.  Returns the echoed id. *)
+let metrics_request (line : string) : string option =
+  match Telemetry.parse_object (String.trim line) with
+  | exception Telemetry.Parse -> None
+  | fields ->
+    (match List.assoc_opt "metrics" fields with
+     | Some (Telemetry.Jbool true) ->
+       Some
+         (match List.assoc_opt "id" fields with
+          | Some (Telemetry.Jstr s) -> s
+          | _ -> "metrics")
+     | _ -> None)
+
+let metrics_to_json ~(id : string) ~(requests : int) ~(invalid : int)
+    ~(admitted : int) ~(rejected : int) ~(hits : int) ~(misses : int)
+    ~(verify_s : float list) ~(le_100us : int) ~(le_1ms : int)
+    ~(le_10ms : int) ~(gt_10ms : int) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"id\":\"";
+  Telemetry.escape b id;
+  Printf.bprintf b
+    "\",\"metrics\":true,\"requests\":%d,\"invalid\":%d,\"admitted\":%d,\"rejected\":%d,\"cache_hits\":%d,\"cache_misses\":%d"
+    requests invalid admitted rejected hits misses;
+  Printf.bprintf b
+    ",\"verify_count\":%d,\"verify_p50_s\":%.6f,\"verify_p95_s\":%.6f"
+    (List.length verify_s)
+    (Bvf_util.Percentile.of_samples verify_s 50)
+    (Bvf_util.Percentile.of_samples verify_s 95);
+  Printf.bprintf b
+    ",\"verify_le_100us\":%d,\"verify_le_1ms\":%d,\"verify_le_10ms\":%d,\"verify_gt_10ms\":%d}"
+    le_100us le_1ms le_10ms gt_10ms;
+  Buffer.contents b
+
+let serve ?(log_level = 0) ?(sink = Telemetry.null)
+    ?(prof = Bvf_util.Prof.disabled) ~(cache : Vcache.t)
     ~(session : Loader.t) ~(stop : unit -> bool) (ic : in_channel)
     (oc : out_channel) : serve_stats =
   let config_fp, maps_fp = fingerprints session in
   let requests = ref 0 and invalid = ref 0 in
   let admitted = ref 0 and rejected = ref 0 in
   let hits = ref 0 and misses = ref 0 in
+  (* cold verification latencies (newest first) and their histogram:
+     the payload of the metrics response.  Observations only — they
+     never reach the telemetry sink or the response byte-identity
+     contract. *)
+  let verify_s = ref [] in
+  let le_100us = ref 0 and le_1ms = ref 0 in
+  let le_10ms = ref 0 and gt_10ms = ref 0 in
   let lineno = ref 0 in
   let respond (line : string) : unit =
-    match
-      input_of_json ~fallback_id:(Printf.sprintf "line%d" !lineno) line
-    with
-    | { in_id; in_req = Error msg } ->
-      incr invalid;
-      output_string oc (error_to_json ~id:in_id msg);
+    match metrics_request line with
+    | Some id ->
+      output_string oc
+        (metrics_to_json ~id ~requests:!requests ~invalid:!invalid
+           ~admitted:!admitted ~rejected:!rejected ~hits:!hits
+           ~misses:!misses ~verify_s:!verify_s ~le_100us:!le_100us
+           ~le_1ms:!le_1ms ~le_10ms:!le_10ms ~gt_10ms:!gt_10ms);
       output_char oc '\n'
-    | { in_id = q_id; in_req = Ok q_req } ->
-      let key = Vcache.key ~config_fp ~maps_fp q_req in
-      let v, hit =
-        match Vcache.find cache key with
-        | Some v -> incr hits; (v, true)
-        | None ->
-          incr misses;
-          let v = verify_request ~log_level session q_req in
-          Vcache.insert cache key v;
-          (v, false)
-      in
-      if v.Vcache.cv_accepted then incr admitted else incr rejected;
-      emit_events sink ~seq:!requests ~key ~hit v;
-      incr requests;
-      output_string oc (response_to_json ~id:q_id ~key ~hit v);
-      output_char oc '\n'
+    | None ->
+      match
+        input_of_json ~fallback_id:(Printf.sprintf "line%d" !lineno) line
+      with
+      | { in_id; in_req = Error msg } ->
+        incr invalid;
+        output_string oc (error_to_json ~id:in_id msg);
+        output_char oc '\n'
+      | { in_id = q_id; in_req = Ok q_req } ->
+        let key, found =
+          Bvf_util.Prof.span prof "probe" (fun () ->
+              let k = Vcache.key ~config_fp ~maps_fp q_req in
+              (k, Vcache.find cache k))
+        in
+        let v, hit =
+          match found with
+          | Some v -> incr hits; (v, true)
+          | None ->
+            incr misses;
+            let fr = Bvf_util.Prof.start prof "verify" in
+            let v = verify_request ~log_level session q_req in
+            let dur, _ = Bvf_util.Prof.stop prof fr in
+            verify_s := dur :: !verify_s;
+            if dur <= 1e-4 then incr le_100us
+            else if dur <= 1e-3 then incr le_1ms
+            else if dur <= 1e-2 then incr le_10ms
+            else incr gt_10ms;
+            Vcache.insert cache key v;
+            (v, false)
+        in
+        if v.Vcache.cv_accepted then incr admitted else incr rejected;
+        emit_events sink ~seq:!requests ~key ~hit v;
+        incr requests;
+        output_string oc (response_to_json ~id:q_id ~key ~hit v);
+        output_char oc '\n'
   in
   (try
      while not (stop ()) do

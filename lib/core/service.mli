@@ -124,7 +124,8 @@ type summary = {
 val summary_to_json : summary -> string
 
 val run_batch :
-  ?log_level:int -> ?sink:Telemetry.sink -> jobs:int -> cache:Vcache.t ->
+  ?log_level:int -> ?sink:Telemetry.sink ->
+  ?prof:Bvf_util.Prof.session -> jobs:int -> cache:Vcache.t ->
   Bvf_kernel.Kconfig.t -> input list -> item list * summary
 (** Verify a batch with the cache in front.  The cache is probed and
     updated only from the calling domain; misses are verified on [jobs]
@@ -134,6 +135,11 @@ val run_batch :
     byte-for-byte.  Service telemetry (one cache event and one verdict
     event per valid request, seq = valid-request index) lands on [sink]
     in input order.
+
+    [prof] (default {!Bvf_util.Prof.null}) records the batch as
+    profiler spans: track [d] carries worker domain [d]'s per-miss
+    "verify" spans, track [jobs] the coordinator's "probe" and "join"
+    passes.  Pure observation — never affects output bytes.
     @raise Invalid_argument when [jobs < 1]. *)
 
 (** {1 Serve} *)
@@ -148,12 +154,25 @@ type serve_stats = {
 }
 
 val serve :
-  ?log_level:int -> ?sink:Telemetry.sink -> cache:Vcache.t ->
-  session:Bvf_runtime.Loader.t -> stop:(unit -> bool) ->
+  ?log_level:int -> ?sink:Telemetry.sink -> ?prof:Bvf_util.Prof.t ->
+  cache:Vcache.t -> session:Bvf_runtime.Loader.t -> stop:(unit -> bool) ->
   in_channel -> out_channel -> serve_stats
 (** The request loop: one JSONL request per input line, one response
     line (flushed) per request, until end of input or [stop ()] turns
     true — the CLI's SIGINT/SIGTERM handlers flip it, so a drain
     finishes the in-flight request, persists the cache and exits.
     Single-domain by design: a serve loop is latency-shaped, and the
-    cache answers the repeat-heavy part of the workload. *)
+    cache answers the repeat-heavy part of the workload.
+
+    A line that is a flat JSON object with ["metrics":true] is a {b
+    metrics request} (docs/SERVICE.md): the loop answers with one flat
+    JSON line of in-process counters — requests/invalid/admitted/
+    rejected, cache hits/misses, and cold-verification latency
+    (count, nearest-rank p50/p95 seconds, and a fixed histogram
+    [verify_le_100us]/[verify_le_1ms]/[verify_le_10ms]/
+    [verify_gt_10ms]).  The optional ["id"] is echoed (default
+    ["metrics"]).  Metrics requests touch no counter, emit no
+    telemetry and never reach the verifier, so they are invisible to
+    the byte-identity contract of every other response.  [prof]
+    (default {!Bvf_util.Prof.disabled}) records a "probe" span per
+    valid request and a "verify" span per cache miss. *)

@@ -19,7 +19,9 @@ open Cimport
    therefore digest-comparable to a fault-free run given the same
    quarantine set — the chaos harness's oracle. *)
 
-let worker_tag = "bvf-worker/1"
+(* /2: Campaign.stats gained the per-phase minor-words attribution
+   fields (st_gen_w..st_exec_w), changing the marshalled layout. *)
+let worker_tag = "bvf-worker/2"
 
 type worker_snapshot = {
   wk_shard : int;
@@ -40,6 +42,9 @@ let done_path dir i =
 
 let err_path dir i =
   Filename.concat dir (Printf.sprintf "worker-%d.err" i)
+
+let prof_path dir i =
+  Filename.concat dir (Printf.sprintf "worker-%d.prof" i)
 
 let quarantine_path dir = Filename.concat dir "quarantine.list"
 
@@ -221,6 +226,9 @@ type wargs = {
   wa_failslab_rate : float option;
   wa_failslab_seed : int option;
   wa_fault : (worker:int -> local:int -> global:int -> unit) option;
+  wa_profile : bool;
+      (* record profiler spans in the child and hand them to the parent
+         via the worker-<i>.prof protocol file at clean exit *)
   wa_strategy : Campaign.strategy;
   wa_config : Kconfig.t;
 }
@@ -274,19 +282,32 @@ let worker_main (a : wargs) : unit =
              ())
       | Some _ | None -> None
     in
+    (* the child records into its own session (the parent's lives in
+       another process); spans reach the parent through the
+       worker-<i>.prof file written at clean exit, and align with the
+       parent's because Mclock timestamps are absolute *)
+    let psession =
+      if a.wa_profile then Bvf_util.Prof.session ()
+      else Bvf_util.Prof.null
+    in
+    let prof =
+      Bvf_util.Prof.track psession
+        ~name:(Printf.sprintf "worker%d" shard) shard
+    in
     let c =
       match existing with
       | Some w ->
         Campaign.resume ~sample_every:a.wa_sample_every ~telemetry:sink
-          ~log_level:a.wa_log_level a.wa_strategy a.wa_config
+          ~log_level:a.wa_log_level ~prof a.wa_strategy a.wa_config
           w.wk_snapshot
       | None ->
         Campaign.create ~sample_every:a.wa_sample_every ~telemetry:sink
-          ~log_level:a.wa_log_level ?failslab:plan
+          ~log_level:a.wa_log_level ~prof ?failslab:plan
           ~seed:(a.wa_seed + shard) a.wa_strategy a.wa_config
     in
     let seq = ref 0 in
     let heartbeat (local : int) : unit =
+      Bvf_util.Prof.span prof "heartbeat" @@ fun () ->
       incr seq;
       atomic_write (hb_path a.wa_dir shard)
         (Printf.sprintf "%d %d %d %d\n" !seq local (global local)
@@ -296,6 +317,7 @@ let worker_main (a : wargs) : unit =
     in
     let last_saved = ref c.Campaign.stats.Campaign.st_generated in
     let save_worker () : unit =
+      Bvf_util.Prof.span prof "checkpoint" @@ fun () ->
       let pos = Telemetry.pos sink in
       (match
          Checkpoint.save ~path:ckpt ~tag:worker_tag
@@ -326,6 +348,11 @@ let worker_main (a : wargs) : unit =
       && c.Campaign.stats.Campaign.st_generated mod a.wa_checkpoint_every
          = 0
     in
+    (* one top-level span covering the worker's whole fuzzing segment,
+       mirroring Parallel's per-shard "iterate"; left open (and the
+       profile unsaved) on the stop_exit path — interrupted runs carry
+       no profile *)
+    let fr_iter = Bvf_util.Prof.start prof "iterate" in
     while c.Campaign.stats.Campaign.st_generated < a.wa_iterations do
       if !stop <> 0 then stop_exit ();
       let local = c.Campaign.stats.Campaign.st_generated in
@@ -362,6 +389,11 @@ let worker_main (a : wargs) : unit =
            sa.Campaign.sa_iteration <> final.Campaign.sa_iteration)
         c.Campaign.stats.Campaign.st_curve;
     save_worker ();
+    ignore (Bvf_util.Prof.stop prof fr_iter);
+    (* spans must be on disk before the done marker: once the parent
+       sees worker-<i>.done it may read the profile immediately *)
+    if a.wa_profile then
+      Bvf_util.Prof.save (prof_path a.wa_dir shard) prof;
     atomic_write (done_path a.wa_dir shard) "ok\n";
     Telemetry.close sink;
     Unix._exit 0
@@ -442,10 +474,11 @@ let pp_report fmt (r : report) : unit =
 let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
     ?failslab_seed ?(checkpoint_every = 1000) ?(deadline_s = 30.)
     ?(poll_s = 0.05) ?(max_restarts = 5) ?(backoff_s = 0.5)
-    ?(quarantine = []) ?fault ?stop ~(workers : int) ~(seed : int)
-    ~(iterations : int) ~(dir : string) (strategy : Campaign.strategy)
-    (config : Kconfig.t) : outcome =
+    ?(quarantine = []) ?fault ?(prof = Bvf_util.Prof.null) ?stop
+    ~(workers : int) ~(seed : int) ~(iterations : int) ~(dir : string)
+    (strategy : Campaign.strategy) (config : Kconfig.t) : outcome =
   if workers < 1 then invalid_arg "Supervisor.run: workers < 1";
+  let sup_prof = Bvf_util.Prof.track prof ~name:"supervisor" workers in
   mkdirs dir;
   acquire_lock (lock_path dir) ~attempts:1;
   Fun.protect ~finally:(fun () -> remove_if_exists (lock_path dir))
@@ -472,6 +505,7 @@ let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
       wa_failslab_rate = failslab_rate;
       wa_failslab_seed = failslab_seed;
       wa_fault = fault;
+      wa_profile = Bvf_util.Prof.active prof;
       wa_strategy = strategy;
       wa_config = config;
     }
@@ -479,6 +513,7 @@ let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
   let spawn (i : int) : wstate =
     remove_if_exists (hb_path dir i);
     remove_if_exists (done_path dir i);
+    remove_if_exists (prof_path dir i);
     flush stdout;
     flush stderr;
     match Unix.fork () with
@@ -543,7 +578,11 @@ let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
       (fun s -> match s.ws_state with Finished _ -> true | _ -> false)
       slots
   in
-  Array.iter (fun s -> s.ws_state <- spawn s.ws_index) slots;
+  Array.iter
+    (fun s ->
+       s.ws_state <-
+         Bvf_util.Prof.span sup_prof "fork" (fun () -> spawn s.ws_index))
+    slots;
   while not (all_finished ()) do
     if
       (not !interrupting)
@@ -569,7 +608,9 @@ let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
            if !interrupting then
              s.ws_state <- Finished Outcome_interrupted
            else if Bvf_util.Mclock.now_s () >= until then
-             s.ws_state <- spawn s.ws_index
+             s.ws_state <-
+               Bvf_util.Prof.span sup_prof "restart" (fun () ->
+                   spawn s.ws_index)
          | Running r -> (
            match Unix.waitpid [ Unix.WNOHANG ] r.rn_pid with
            | 0, _ ->
@@ -620,6 +661,7 @@ let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
     if not (all_finished ()) then Unix.sleepf poll_s
   done;
   (* -- Join ------------------------------------------------------------- *)
+  let fr_join = Bvf_util.Prof.start sup_prof "join" in
   let finals =
     Array.init workers (fun i ->
         let p = ckpt_path dir i in
@@ -664,8 +706,9 @@ let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
           rp_workers;
     }
   in
-  if !interrupting then Interrupted report
-  else begin
+  let outcome =
+    if !interrupting then Interrupted report
+    else begin
     (* merge the final worker checkpoints exactly the way Parallel's
        in-process join merges shard results *)
     (match trace with
@@ -727,3 +770,17 @@ let run ?(sample_every = 64) ?(log_level = 0) ?trace ?failslab_rate
     in
     Completed (result, report)
   end
+  in
+  (* fold each completed worker's spans back into the parent session;
+     a crashed or interrupted worker never wrote its profile, so its
+     track is simply absent from the trace *)
+  if Bvf_util.Prof.active prof then
+    for i = 0 to workers - 1 do
+      match Bvf_util.Prof.load (prof_path dir i) with
+      | Some (trk, spans) ->
+        Bvf_util.Prof.absorb prof
+          ~name:(Printf.sprintf "worker%d" i) ~trk spans
+      | None -> ()
+    done;
+  ignore (Bvf_util.Prof.stop sup_prof fr_join);
+  outcome

@@ -114,6 +114,7 @@ val run :
   ?backoff_s:float ->
   ?quarantine:int list ->
   ?fault:(worker:int -> local:int -> global:int -> unit) ->
+  ?prof:Bvf_util.Prof.session ->
   ?stop:(unit -> bool) ->
   workers:int -> seed:int -> iterations:int -> dir:string ->
   Campaign.strategy -> Bvf_kernel.Kconfig.t -> outcome
@@ -136,6 +137,17 @@ val run :
     use it to crash, self-kill or hang a chosen iteration.  [stop] is
     polled by the supervisor; when it returns [true] workers receive
     SIGTERM, save and exit — the CLI's SIGINT/SIGTERM path.
+
+    [prof] (default {!Bvf_util.Prof.null}) records the run as profiler
+    spans: track [i] carries worker [i]'s "iterate" span with the
+    campaign phase, "heartbeat" and "checkpoint" spans nested inside,
+    track [workers] the supervisor's fork/restart/join work.  Each
+    child records into its own session and hands the spans to the
+    parent through a [worker-<i>.prof] protocol file at clean exit
+    ({!Bvf_util.Prof.save}); a crashed or interrupted worker leaves no
+    profile, so its track is absent rather than partial.  Pure
+    observation — a profiled run's digest and trace are byte-identical
+    to an unprofiled one.
 
     The state directory is owned by exactly one live supervisor: a
     [supervisor.lock] file records the owner's pid and is broken only

@@ -58,6 +58,12 @@ type event =
       sanitize_s : float;
       exec_s : float;
       wall_s : float;
+      (* per-phase minor-words attribution; zero in traces written
+         before the fields existed *)
+      gen_w : float;
+      verify_w : float;
+      sanitize_w : float;
+      exec_w : float;
     }
   (* service (bvf batch / bvf serve) admission events: one cache event
      and one verdict event per request, keyed by the request's verdict
@@ -154,10 +160,15 @@ let to_json (ev : event) : string =
      str "reason" (Reject_reason.to_string reason)
    | Shard_merge { shards; events } ->
      tag "shard_merge"; int "shards" shards; int "events" events
-   | Profile { programs; gen_s; verify_s; sanitize_s; exec_s; wall_s } ->
+   | Profile { programs; gen_s; verify_s; sanitize_s; exec_s; wall_s;
+               gen_w; verify_w; sanitize_w; exec_w } ->
+     (* minor words are whole counts: %.0f keeps the lines short *)
+     let wrd k v = Printf.bprintf b ",\"%s\":%.0f" k v in
      tag "profile"; int "programs" programs; flt "gen_s" gen_s;
      flt "verify_s" verify_s; flt "sanitize_s" sanitize_s;
-     flt "exec_s" exec_s; flt "wall_s" wall_s);
+     flt "exec_s" exec_s; flt "wall_s" wall_s;
+     wrd "gen_w" gen_w; wrd "verify_w" verify_w;
+     wrd "sanitize_w" sanitize_w; wrd "exec_w" exec_w);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -348,10 +359,20 @@ let of_json (line : string) : event option =
     | "shard_merge" ->
       Some (Shard_merge { shards = int "shards"; events = int "events" })
     | "profile" ->
+      (* the minor-words fields postdate the profile schema: traces
+         written before them parse with the attribution at zero *)
+      let flt0 k =
+        match List.assoc_opt k fields with
+        | Some (Jnum f) -> f
+        | _ -> 0.
+      in
       Some (Profile { programs = int "programs"; gen_s = flt "gen_s";
                       verify_s = flt "verify_s";
                       sanitize_s = flt "sanitize_s"; exec_s = flt "exec_s";
-                      wall_s = flt "wall_s" })
+                      wall_s = flt "wall_s";
+                      gen_w = flt0 "gen_w"; verify_w = flt0 "verify_w";
+                      sanitize_w = flt0 "sanitize_w";
+                      exec_w = flt0 "exec_w" })
     | _ -> None
   with
   | ev -> ev
@@ -505,9 +526,9 @@ type summary = {
 let dist_of (samples : int list) : dist =
   let a = Array.of_list samples in
   Array.sort compare a;
-  let n = Array.length a in
-  let pct p = if n = 0 then 0 else a.(p * (n - 1) / 100) in
-  { d_total = Array.fold_left ( + ) 0 a; d_p50 = pct 50; d_p95 = pct 95 }
+  { d_total = Array.fold_left ( + ) 0 a;
+    d_p50 = Bvf_util.Percentile.of_sorted_int a 50;
+    d_p95 = Bvf_util.Percentile.of_sorted_int a 95 }
 
 let summarize (events : event list) : summary =
   let by_type : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
@@ -652,8 +673,16 @@ let pp_summary fmt (s : summary) : unit =
    | None -> ());
   match s.su_profile with
   | Some (Profile { programs; gen_s; verify_s; sanitize_s; exec_s;
-                    wall_s }) ->
+                    wall_s; gen_w; verify_w; sanitize_w; exec_w }) ->
     Format.fprintf fmt
       "@.  phases over %d programs: gen %.3fs, verify %.3fs, sanitize %.3fs, exec %.3fs (wall %.3fs)@."
-      programs gen_s verify_s sanitize_s exec_s wall_s
+      programs gen_s verify_s sanitize_s exec_s wall_s;
+    let total_w = gen_w +. verify_w +. sanitize_w +. exec_w in
+    if total_w > 0. && programs > 0 then begin
+      let per w = w /. float_of_int programs in
+      Format.fprintf fmt
+        "  alloc per program: gen %.0fw, verify %.0fw, sanitize %.0fw, exec %.0fw (%.0fw minor total)@."
+        (per gen_w) (per verify_w) (per sanitize_w) (per exec_w)
+        (per total_w)
+    end
   | Some _ | None -> ()

@@ -64,7 +64,14 @@ type event =
       sanitize_s : float;
       exec_s : float;
       wall_s : float;
-    }  (** CLI-appended phase profile; the only event carrying times *)
+      gen_w : float;
+      verify_w : float;
+      sanitize_w : float;
+      exec_w : float;
+    }
+      (** CLI-appended phase profile; the only event carrying times.
+          The [_w] fields are per-phase minor-words attribution and
+          postdate the schema: older traces parse with them at zero. *)
   | Service_hit of { seq : int; key : string }
       (** a service request's verdict came from the cache *)
   | Service_miss of { seq : int; key : string }

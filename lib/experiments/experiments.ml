@@ -419,6 +419,14 @@ type parallel_row = {
   pl_edges : int;      (* merged (union) coverage *)
   pl_findings : int;
   pl_digest : string;  (* merged campaign digest *)
+  pl_shards : (int * (string * float) list) list;
+      (* per-shard span totals (inclusive seconds by span name:
+         iterate/gen/verify/sanitize/exec), recorded by profiling the
+         timed run itself — span recording is cheap enough not to
+         disturb the rate column *)
+  pl_coordinator : (string * float) list;
+      (* coordinator span totals (spawn/join/trace-merge/absorb/merge)
+         — where the parallel overhead goes *)
 }
 
 type parallel_bench = {
@@ -434,11 +442,13 @@ let parallel_bench ?(iterations = 6_000) ?(seed = 1)
   let rows =
     List.map
       (fun j ->
+         let prof = Bvf_util.Prof.session () in
          let r, dt =
            Bvf_util.Mclock.time_s (fun () ->
-               Parallel.run ~jobs:j ~seed ~iterations
+               Parallel.run ~jobs:j ~prof ~seed ~iterations
                  Campaign.bvf_strategy config)
          in
+         let spans = Bvf_util.Prof.spans prof in
          {
            pl_jobs = j;
            pl_programs = r.Parallel.pr_stats.Campaign.st_generated;
@@ -451,6 +461,11 @@ let parallel_bench ?(iterations = 6_000) ?(seed = 1)
            pl_findings =
              Hashtbl.length r.Parallel.pr_stats.Campaign.st_findings;
            pl_digest = Parallel.digest r;
+           pl_shards =
+             List.init j (fun i ->
+                 (i, Bvf_util.Prof.totals_for spans ~trk:i));
+           (* Parallel.run records the coordinator on track [jobs] *)
+           pl_coordinator = Bvf_util.Prof.totals_for spans ~trk:j;
          })
       jobs
   in
@@ -481,6 +496,27 @@ let print_parallel (p : parallel_bench) : unit =
   List.iter
     (fun r -> Printf.printf "  digest jobs=%d: %s\n" r.pl_jobs r.pl_digest)
     p.pb_rows;
+  let fmt_spans spans =
+    String.concat ", "
+      (List.map (fun (n, s) -> Printf.sprintf "%s %.2fs" n s) spans)
+  in
+  List.iter
+    (fun r ->
+       Printf.printf "  spans jobs=%d:\n" r.pl_jobs;
+       List.iter
+         (fun (i, spans) ->
+            Printf.printf "    shard %d: %s\n" i (fmt_spans spans))
+         r.pl_shards;
+       match
+         List.sort (fun (_, a) (_, b) -> compare (b : float) a)
+           r.pl_coordinator
+       with
+       | [] -> ()  (* jobs=1 runs in the calling domain: no coordinator *)
+       | (name, s) :: _ as all ->
+         Printf.printf "    coordinator: %s\n" (fmt_spans all);
+         Printf.printf "    dominant parallel overhead: %s (%.3fs)\n"
+           name s)
+    p.pb_rows;
   Printf.printf
     "  note: edge counts legitimately differ across jobs — each shard \
      generates\n\
@@ -507,14 +543,31 @@ let parallel_to_json (p : parallel_bench) : string =
   Printf.bprintf b "  \"seed\": %d,\n" p.pb_seed;
   Printf.bprintf b "  \"cores\": %d,\n" p.pb_cores;
   Printf.bprintf b "  \"rows\": [\n";
+  let span_obj spans =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (n, s) -> Printf.sprintf "\"%s\": %.6f" n s)
+           spans)
+    ^ "}"
+  in
   List.iteri
     (fun i r ->
        Printf.bprintf b
          "    {\"jobs\": %d, \"programs\": %d, \"seconds\": %.6f, \
           \"programs_per_sec\": %.1f, \"speedup_vs_1\": %.3f, \
-          \"edges\": %d, \"findings\": %d, \"digest\": \"%s\"}%s\n"
+          \"edges\": %d, \"findings\": %d, \"digest\": \"%s\",\n"
          r.pl_jobs r.pl_programs r.pl_seconds r.pl_rate
-         (parallel_speedup p r) r.pl_edges r.pl_findings r.pl_digest
+         (parallel_speedup p r) r.pl_edges r.pl_findings r.pl_digest;
+       Printf.bprintf b "     \"coordinator\": %s,\n"
+         (span_obj r.pl_coordinator);
+       Printf.bprintf b "     \"shards\": [%s]}%s\n"
+         (String.concat ",\n                "
+            (List.map
+               (fun (s, spans) ->
+                  Printf.sprintf "{\"shard\": %d, \"spans\": %s}" s
+                    (span_obj spans))
+               r.pl_shards))
          (if i < List.length p.pb_rows - 1 then "," else ""))
     p.pb_rows;
   Printf.bprintf b "  ]\n}\n";

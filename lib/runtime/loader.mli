@@ -39,6 +39,9 @@ type run_result = {
   verify_s : float;  (** wall time spent verifying *)
   sanitize_s : float;(** wall time of the fixup + sanitation rewrites *)
   exec_s : float;    (** wall time executing; 0 when rejected *)
+  verify_w : float;  (** minor words allocated verifying *)
+  sanitize_w : float;(** minor words of the fixup + sanitation rewrites *)
+  exec_w : float;    (** minor words allocated executing *)
   vlog : string;     (** verifier log, whatever the verdict *)
   vstats : Bvf_verifier.Vstats.t option;
       (** veristat-style verifier performance counters; [None] when the
@@ -57,6 +60,9 @@ val execute : t -> Bvf_verifier.Verifier.loaded -> Exec.result
     execution context. *)
 
 val load_and_run :
-  ?log_level:int -> t -> Bvf_verifier.Verifier.request -> run_result
+  ?log_level:int -> ?prof:Bvf_util.Prof.t -> t ->
+  Bvf_verifier.Verifier.request -> run_result
 (** The complete cycle the fuzzer performs for each generated input.
-    [log_level] (default 0) sizes the captured verifier log. *)
+    [log_level] (default 0) sizes the captured verifier log.  [prof]
+    (default: disabled) records "verify" and "exec" spans, with
+    sanitation charged as a post-hoc child of the verify span. *)

@@ -36,6 +36,7 @@ type loaded = {
   l_lint : Invariants.violation list; (* Kconfig.lint violations (capped) *)
   l_lint_count : int;            (* total, including dropped-by-cap *)
   l_sanitize_s : float;          (* wall time of fixup + sanitation *)
+  l_sanitize_w : float;          (* minor words of fixup + sanitation *)
   l_vstats : Vstats.t;           (* veristat-style performance counters *)
 }
 
@@ -185,6 +186,7 @@ let load_with_stats (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
       | exception Venv.Reject verr -> (Error verr, log (), Some vst)
       | () ->
         let t_rewrite = Bvf_util.Mclock.now_s () in
+        let w_rewrite = Gc.minor_words () in
         let insns, aux = Fixup.run kst ~insns:req.r_insns ~aux:env.Venv.aux
         in
         let insns, aux =
@@ -193,6 +195,7 @@ let load_with_stats (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
           else (insns, aux)
         in
         let sanitize_s = Bvf_util.Mclock.elapsed_s ~since:t_rewrite in
+        let sanitize_w = Float.max 0. (Gc.minor_words () -. w_rewrite) in
         if
           (* failslab: allocating the rewritten program image *)
           Bvf_kernel.Failslab.should_fail kst.Kstate.failslab
@@ -228,6 +231,7 @@ let load_with_stats (kst : Kstate.t) ~(cov : Coverage.t) ?(log_level = 0)
             l_lint = List.rev env.Venv.lint;
             l_lint_count = env.Venv.lint_count;
             l_sanitize_s = sanitize_s;
+            l_sanitize_w = sanitize_w;
             l_vstats = vst;
           }, log (), Some vst)
         end

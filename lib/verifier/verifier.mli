@@ -37,6 +37,9 @@ type loaded = {
   l_sanitize_s : float;
       (** wall time of the fixup + sanitation rewrites, for phase
           profiling (the rest of the load span is verification) *)
+  l_sanitize_w : float;
+      (** minor words allocated by those rewrites, for phase-level
+          allocation attribution *)
   l_vstats : Vstats.t;
       (** veristat-style performance counters of the analysis *)
 }

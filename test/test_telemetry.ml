@@ -164,7 +164,8 @@ let sample_events : Telemetry.event list =
     Shard_merge { shards = 4; events = 99 };
     Profile
       { programs = 6; gen_s = 0.25; verify_s = 1.5; sanitize_s = 0.125;
-        exec_s = 0.0625; wall_s = 2.0 };
+        exec_s = 0.0625; wall_s = 2.0; gen_w = 1024.; verify_w = 4096.;
+        sanitize_w = 512.; exec_w = 256. };
   ]
 
 let test_jsonl_round_trip () =
@@ -192,7 +193,18 @@ let test_jsonl_round_trip () =
        ({|{"ev":"vstats","iter":9,"insn_processed":10,|}
         ^ {|"total_states":2,"peak_states":1,"max_states_per_insn":1,|}
         ^ {|"prune_hits":0,"prune_misses":2,"loops_detected":0,|}
-        ^ {|"branch_hwm":1}|}))
+        ^ {|"branch_hwm":1}|}));
+  (* the minor-words fields postdate the profile schema likewise *)
+  Alcotest.(check (option event)) "pre-alloc profile line parses"
+    (Some
+       (Telemetry.Profile
+          { programs = 3; gen_s = 0.5; verify_s = 1.0; sanitize_s = 0.25;
+            exec_s = 0.125; wall_s = 2.0; gen_w = 0.; verify_w = 0.;
+            sanitize_w = 0.; exec_w = 0. }))
+    (Telemetry.of_json
+       ({|{"ev":"profile","programs":3,"gen_s":0.500000,|}
+        ^ {|"verify_s":1.000000,"sanitize_s":0.250000,|}
+        ^ {|"exec_s":0.125000,"wall_s":2.000000}|}))
 
 let test_summarize_counts () =
   let s = Telemetry.summarize sample_events in
